@@ -1,0 +1,387 @@
+(* The benchmark harness.
+
+   Part 1 regenerates every table of the paper's evaluation (one harness
+   call per table — Tables 1, 2, 3, 4, 5 — plus the section 5.1
+   concurrent-volumes claim and the section 5.2/5.3 scaling summary).
+
+   Part 2 runs the ablations called out in DESIGN.md section 5: aging,
+   NVRAM on the restore path, file-size distribution, and full-stripe vs
+   read-modify-write RAID writes.
+
+   Part 3 registers one Bechamel microbenchmark per table, measuring the
+   wall-clock cost of the mechanism behind each table on this machine
+   (plane algebra for Table 1, dump/restore passes for Tables 2/3, the
+   multi-stream fluid solver for Tables 4/5). *)
+
+module Experiment = Repro_backup.Experiment
+module Report = Repro_backup.Report
+module Pipeline = Repro_sim.Pipeline
+module Resource = Repro_sim.Resource
+module Cost = Repro_sim.Cost
+module Volume = Repro_block.Volume
+module Disk = Repro_block.Disk
+module Raid = Repro_block.Raid
+module Library = Repro_tape.Library
+module Tapeio = Repro_tape.Tapeio
+module Fs = Repro_wafl.Fs
+module Blockmap = Repro_wafl.Blockmap
+module Dump = Repro_dump.Dump
+module Restore = Repro_dump.Restore
+module Image_dump = Repro_image.Image_dump
+module Image_restore = Repro_image.Image_restore
+module Generator = Repro_workload.Generator
+module Ager = Repro_workload.Ager
+module Bitmap = Repro_util.Bitmap
+
+let ppf = Format.std_formatter
+let say fmt = Format.fprintf ppf (fmt ^^ "@.")
+
+(* ------------------------------------------------------------------ *)
+(* Part 1: the tables                                                  *)
+
+let table_cfg () =
+  { (Experiment.quick_config ()) with Experiment.data_bytes = 24 * 1024 * 1024 }
+
+let run_tables () =
+  let cfg = table_cfg () in
+  say "============================================================";
+  say " Part 1: reproduction of the paper's evaluation tables";
+  say " (%d MiB aged volume; see EXPERIMENTS.md for full-size runs)"
+    (cfg.Experiment.data_bytes / 1024 / 1024);
+  say "============================================================@.";
+  Report.table1 ppf;
+  say "";
+  let basic = Experiment.run_basic ~tapes:1 cfg in
+  Report.table2 ppf basic;
+  say "";
+  Report.table3 ppf basic;
+  say "";
+  let par2 = Experiment.run_basic ~tapes:2 cfg in
+  Report.table45 ppf par2;
+  say "";
+  let par4 = Experiment.run_basic ~tapes:4 cfg in
+  Report.table45 ppf par4;
+  say "";
+  Report.summary ppf [ basic; par2; par4 ];
+  say "";
+  Report.scaling_chart ppf [ basic; par2; par4 ];
+  say "";
+  Report.concurrent ppf (Experiment.run_concurrent cfg);
+  say ""
+
+(* ------------------------------------------------------------------ *)
+(* Part 2: ablations                                                   *)
+
+let ablation_cfg () = Experiment.quick_config ()
+
+let ablation_aging () =
+  let cfg = ablation_cfg () in
+  let fresh = Experiment.run_basic ~tapes:1 { cfg with Experiment.aged = false } in
+  let aged =
+    Experiment.run_basic ~tapes:1 { cfg with Experiment.aged = true; churn_rounds = 10 }
+  in
+  say "[ablation: aging]  (paper footnote 1: mature data sets dump slower)";
+  say "  fresh volume: fragmentation %3.0f%%, logical dump %.2f MB/s"
+    (100.0 *. fresh.Experiment.fragmentation)
+    (Experiment.mb_s fresh.Experiment.logical_backup);
+  say "  aged volume:  fragmentation %3.0f%%, logical dump %.2f MB/s"
+    (100.0 *. aged.Experiment.fragmentation)
+    (Experiment.mb_s aged.Experiment.logical_backup);
+  say "  physical dump is layout-insensitive: %.2f vs %.2f MB/s@."
+    (Experiment.mb_s fresh.Experiment.physical_backup)
+    (Experiment.mb_s aged.Experiment.physical_backup)
+
+let ablation_nvram () =
+  (* At one tape the restore is tape-bound and NVRAM cost hides in the
+     pipeline; at four tapes "filling in data" is CPU-bound (Table 5 shows
+     100%), which is exactly where bypassing NVRAM pays. *)
+  let cfg = { (ablation_cfg ()) with Experiment.data_bytes = 16 * 1024 * 1024 } in
+  let fill b =
+    match
+      List.find_opt
+        (fun (s : Pipeline.stage_summary) -> s.Pipeline.stage_label = "filling in data")
+        b.Experiment.logical_restore.Experiment.report.Pipeline.stages
+    with
+    | Some s -> (Pipeline.stage_elapsed s, Experiment.stage_cpu s)
+    | None -> (0.0, 0.0)
+  in
+  let with_nvram = Experiment.run_basic ~tapes:4 cfg in
+  let bypass =
+    Experiment.run_basic ~tapes:4
+      { cfg with Experiment.costs = { cfg.Experiment.costs with Cost.nvram_per_byte = 0.0 } }
+  in
+  let e1, c1 = fill with_nvram and e2, c2 = fill bypass in
+  say "[ablation: NVRAM on the logical restore path]  (paper footnote 2)";
+  say "  through NVRAM (4 tapes): filling-in-data %.2f s at %.0f%% CPU" e1 (100. *. c1);
+  say "  bypassing it (4 tapes):  filling-in-data %.2f s at %.0f%% CPU@." e2 (100. *. c2)
+
+let ablation_file_size () =
+  let cfg = ablation_cfg () in
+  let with_median m =
+    Experiment.run_basic ~tapes:1
+      {
+        cfg with
+        Experiment.profile =
+          { cfg.Experiment.profile with Generator.median_file_bytes = m };
+      }
+  in
+  let small = with_median 4096.0 in
+  let large = with_median 131072.0 in
+  say "[ablation: file-size distribution]";
+  say "  4 KB median (%4d files): logical dump %.2f MB/s, restore %.2f MB/s"
+    small.Experiment.files
+    (Experiment.mb_s small.Experiment.logical_backup)
+    (Experiment.mb_s small.Experiment.logical_restore);
+  say "  128 KB median (%3d files): logical dump %.2f MB/s, restore %.2f MB/s"
+    large.Experiment.files
+    (Experiment.mb_s large.Experiment.logical_backup)
+    (Experiment.mb_s large.Experiment.logical_restore);
+  say "  physical path is file-count-insensitive: %.2f vs %.2f MB/s@."
+    (Experiment.mb_s small.Experiment.physical_backup)
+    (Experiment.mb_s large.Experiment.physical_backup)
+
+let ablation_stripe_writes () =
+  let make () =
+    Raid.create ~label:"rg" ~ndisks:8 ~blocks_per_disk:512 (Disk.default_params ~blocks:512)
+  in
+  let width r = Raid.data_disks r in
+  let data r = Array.init (width r) (fun i -> Bytes.make 4096 (Char.chr (65 + i))) in
+  let a = make () in
+  for s = 0 to 63 do
+    Raid.write_stripe a s (data a)
+  done;
+  let stripe_busy =
+    Array.fold_left (fun acc d -> acc +. Disk.busy_seconds d) 0.0 (Raid.disks a)
+  in
+  let b = make () in
+  for s = 0 to 63 do
+    for i = 0 to width b - 1 do
+      Raid.write b ((s * width b) + i) (data b).(i)
+    done
+  done;
+  let rmw_busy =
+    Array.fold_left (fun acc d -> acc +. Disk.busy_seconds d) 0.0 (Raid.disks b)
+  in
+  say "[ablation: write allocation]  (why WAFL is write-anywhere)";
+  say "  64 stripes as full-stripe writes:    %.3f disk-seconds" stripe_busy;
+  say "  same blocks via read-modify-write:   %.3f disk-seconds (%.1fx)@." rmw_busy
+    (rmw_busy /. stripe_busy)
+
+let ablation_raw_vs_smart () =
+  (* paper section 4: the dd baseline vs interpreting the block map *)
+  let vol = Volume.create ~label:"rawsrc" (Volume.small_geometry ~data_blocks:16384) in
+  let fs = Fs.mkfs vol in
+  ignore (Generator.populate ~fs ~root:"/data" ~total_bytes:(8 * 1024 * 1024) ());
+  Fs.snapshot_create fs "b";
+  let smart_lib = Library.create ~slots:32 ~label:"smart" () in
+  Volume.reset_stats vol;
+  let smart = Image_dump.full ~fs ~snapshot:"b" ~sink:(Tapeio.sink smart_lib) () in
+  let smart_disk = Volume.busy_seconds vol in
+  let raw_lib = Library.create ~slots:32 ~label:"raw" () in
+  Volume.reset_stats vol;
+  let raw = Image_dump.raw ~volume:vol ~sink:(Tapeio.sink raw_lib) () in
+  let raw_disk = Volume.busy_seconds vol in
+  say "[baseline: raw device copy (dd) vs block-map-aware image dump]";
+  say "  raw:   %7d blocks, %9d stream bytes, %.2f disk-array-seconds"
+    raw.Image_dump.blocks_dumped raw.Image_dump.bytes_written raw_disk;
+  say "  smart: %7d blocks, %9d stream bytes, %.2f disk-array-seconds"
+    smart.Image_dump.blocks_dumped smart.Image_dump.bytes_written smart_disk;
+  say "  interpreting the free-block map moves %.1fx less data (and enables incrementals)@."
+    (Float.of_int raw.Image_dump.blocks_dumped
+    /. Float.of_int (Stdlib.max 1 smart.Image_dump.blocks_dumped))
+
+let ablation_tar_vs_dump () =
+  (* paper section 3: dump vs the other well-known logical formats *)
+  let module Tar = Repro_dump.Tar in
+  let module Dumpdates = Repro_dump.Dumpdates in
+  let vol = Volume.create ~label:"tarsrc" (Volume.small_geometry ~data_blocks:16384) in
+  let fs = Fs.mkfs vol in
+  ignore (Generator.populate ~fs ~root:"/data" ~total_bytes:(4 * 1024 * 1024) ());
+  let cut = Fs.now fs in
+  let dd = Dumpdates.create () in
+  let dl0 = Library.create ~slots:32 ~label:"d0" () in
+  let view = Fs.active_view fs in
+  let d0 =
+    Dump.run ~level:0 ~dumpdates:dd ~view ~subtree:"/data" ~label:"d" ~date:cut
+      ~sink:(Tapeio.sink dl0) ()
+  in
+  let tl0 = Library.create ~slots:32 ~label:"t0" () in
+  let t0 = Tar.create ~view ~subtree:"/data" ~sink:(Tapeio.sink tl0) () in
+  (* a day of churn, then incrementals from both *)
+  ignore
+    (Ager.age ~churn:{ Ager.default_churn with Ager.rounds = 2; batch = 25 } ~fs
+       ~root:"/data" ());
+  let view1 = Fs.active_view fs in
+  let dl1 = Library.create ~slots:32 ~label:"d1" () in
+  let d1 =
+    Dump.run ~level:1 ~dumpdates:dd ~view:view1 ~subtree:"/data" ~label:"d"
+      ~date:(Fs.now fs) ~sink:(Tapeio.sink dl1) ()
+  in
+  let tl1 = Library.create ~slots:32 ~label:"t1" () in
+  let t1 = Tar.create ~newer:cut ~view:view1 ~subtree:"/data" ~sink:(Tapeio.sink tl1) () in
+  say "[baseline: dump vs tar]  (paper section 3)";
+  say "  full:        dump %9d bytes   tar %9d bytes" d0.Dump.bytes_written
+    t0.Tar.bytes_written;
+  say "  incremental: dump %9d bytes   tar %9d bytes" d1.Dump.bytes_written
+    t1.Tar.bytes_written;
+  say
+    "  and only dump's inode maps let an incremental restore apply deletions and renames@."
+
+let run_ablations () =
+  say "============================================================";
+  say " Part 2: ablations and baselines (DESIGN.md section 5)";
+  say "============================================================@.";
+  ablation_aging ();
+  ablation_nvram ();
+  ablation_file_size ();
+  ablation_stripe_writes ();
+  ablation_raw_vs_smart ();
+  ablation_tar_vs_dump ()
+
+(* ------------------------------------------------------------------ *)
+(* Part 3: Bechamel microbenchmarks, one per table                     *)
+
+open Bechamel
+open Toolkit
+
+(* Shared fixtures, built once. *)
+let fixture_blocks = 64 * 1024
+
+let fixture_bmap =
+  let bm = Blockmap.create ~nblocks:fixture_blocks in
+  let rng = Repro_util.Prng.create 17 in
+  for vbn = 0 to fixture_blocks - 1 do
+    if Repro_util.Prng.bool rng then Blockmap.mark_allocated bm vbn
+  done;
+  Blockmap.capture_snapshot bm ~plane:1;
+  for _ = 0 to 5000 do
+    let vbn = Repro_util.Prng.int rng fixture_blocks in
+    if Repro_util.Prng.bool rng then Blockmap.mark_allocated bm vbn
+    else Blockmap.mark_free bm vbn
+  done;
+  Blockmap.capture_snapshot bm ~plane:2;
+  bm
+
+let fixture_fs =
+  let vol = Volume.create ~label:"bench" (Volume.small_geometry ~data_blocks:8192) in
+  let fs = Fs.mkfs vol in
+  ignore (Generator.populate ~fs ~root:"/data" ~total_bytes:600_000 ());
+  Fs.snapshot_create fs "bench";
+  fs
+
+let fixture_dump_lib =
+  let lib = Library.create ~slots:8 ~label:"fixdump" () in
+  let view = Fs.snapshot_view fixture_fs "bench" in
+  ignore
+    (Dump.run ~view ~subtree:"/data" ~label:"bench" ~date:(Fs.now fixture_fs)
+       ~sink:(Tapeio.sink lib) ());
+  lib
+
+let fixture_image_lib =
+  let lib = Library.create ~slots:8 ~label:"fiximg" () in
+  ignore (Image_dump.full ~fs:fixture_fs ~snapshot:"bench" ~sink:(Tapeio.sink lib) ());
+  lib
+
+(* Table 1: the plane set-difference behind incremental image dump. *)
+let bench_table1 =
+  Test.make ~name:"table1.incremental-plane-diff"
+    (Staged.stage (fun () ->
+         Sys.opaque_identity
+           (Bitmap.count (Blockmap.incremental_blocks fixture_bmap ~base:1 ~target:2))))
+
+(* Table 2/3 logical side: a full dump pass over the fixture tree. *)
+let bench_table2_logical =
+  Test.make ~name:"table2.logical-dump-pass"
+    (Staged.stage (fun () ->
+         let lib = Library.create ~slots:8 ~label:"t2l" () in
+         let view = Fs.snapshot_view fixture_fs "bench" in
+         Sys.opaque_identity
+           (Dump.run ~view ~subtree:"/data" ~label:"bench" ~date:(Fs.now fixture_fs)
+              ~sink:(Tapeio.sink lib) ())))
+
+(* Table 2/3 physical side: a full image dump pass. *)
+let bench_table2_physical =
+  Test.make ~name:"table2.physical-dump-pass"
+    (Staged.stage (fun () ->
+         let lib = Library.create ~slots:8 ~label:"t2p" () in
+         Sys.opaque_identity
+           (Image_dump.full ~fs:fixture_fs ~snapshot:"bench" ~sink:(Tapeio.sink lib) ())))
+
+(* Table 3 restore side: full logical restore into a fresh file system. *)
+let bench_table3_restore =
+  Test.make ~name:"table3.logical-restore-pass"
+    (Staged.stage (fun () ->
+         let vol = Volume.create ~label:"t3" (Volume.small_geometry ~data_blocks:8192) in
+         let fs = Fs.mkfs vol in
+         let session = Restore.session ~fs ~target:"/r" () in
+         Sys.opaque_identity (Restore.apply session (Tapeio.source fixture_dump_lib))))
+
+let bench_table3_physical_restore =
+  Test.make ~name:"table3.physical-restore-pass"
+    (Staged.stage (fun () ->
+         let vol = Volume.create ~label:"t3p" (Volume.small_geometry ~data_blocks:8192) in
+         Sys.opaque_identity
+           (Image_restore.apply ~volume:vol (Tapeio.source fixture_image_lib))))
+
+(* Tables 4/5: the multi-stream fluid solver that turns measured demands
+   into parallel elapsed times. *)
+let bench_table45_solver =
+  Test.make ~name:"table45.pipeline-solver-4streams"
+    (Staged.stage (fun () ->
+         let disk = Resource.create "disk" in
+         let cpu = Resource.create "cpu" in
+         let streams =
+           List.init 4 (fun i ->
+               let tape = Resource.create (Printf.sprintf "tape%d" i) in
+               {
+                 Pipeline.stream_label = Printf.sprintf "s%d" i;
+                 stages =
+                   List.init 5 (fun s ->
+                       Pipeline.stage
+                         (Printf.sprintf "stage%d" s)
+                         [
+                           Pipeline.demand disk 0.2;
+                           Pipeline.demand cpu 0.3;
+                           Pipeline.demand tape 0.5;
+                         ]);
+               })
+         in
+         Sys.opaque_identity (Pipeline.run streams)))
+
+let run_microbenchmarks () =
+  say "============================================================";
+  say " Part 3: Bechamel microbenchmarks (host wall-clock)";
+  say "============================================================@.";
+  let tests =
+    [
+      bench_table1;
+      bench_table2_logical;
+      bench_table2_physical;
+      bench_table3_restore;
+      bench_table3_physical_restore;
+      bench_table45_solver;
+    ]
+  in
+  let ols =
+    Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) ~kde:None ~stabilize:true ()
+  in
+  let raw =
+    Benchmark.all cfg instances
+      (Test.make_grouped ~name:"paper" ~fmt:"%s/%s" tests)
+  in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows = Hashtbl.fold (fun name r acc -> (name, r) :: acc) results [] in
+  List.iter
+    (fun (name, r) -> Format.fprintf ppf "  %-42s %a@." name Analyze.OLS.pp r)
+    (List.sort compare rows);
+  say ""
+
+let () =
+  run_tables ();
+  run_ablations ();
+  run_microbenchmarks ();
+  say "bench: all parts complete."

@@ -1,0 +1,63 @@
+(* Quickstart: make a file system, fill it, back it up both ways, break
+   things, restore, verify.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+module Volume = Repro_block.Volume
+module Library = Repro_tape.Library
+module Fs = Repro_wafl.Fs
+module Strategy = Repro_backup.Strategy
+module Engine = Repro_backup.Engine
+module Catalog = Repro_backup.Catalog
+module Generator = Repro_workload.Generator
+module Compare = Repro_workload.Compare
+
+let say fmt = Format.printf (fmt ^^ "@.")
+
+let () =
+  (* A volume is a flat block space over RAID-4 groups of simulated disks. *)
+  let vol = Volume.create ~label:"home" (Volume.small_geometry ~data_blocks:16384) in
+  let fs = Fs.mkfs vol in
+  say "created a %d-block WAFL-style volume" (Fs.size_blocks fs);
+
+  (* Put some data on it: a synthetic but realistically-shaped tree. *)
+  let stats = Generator.populate ~fs ~root:"/projects" ~total_bytes:2_000_000 () in
+  say "populated /projects: %d files, %d directories, %d bytes" stats.Generator.files
+    stats.Generator.dirs stats.Generator.bytes;
+
+  (* An engine owns the file system, tape stackers, dumpdates, catalog. *)
+  let engine =
+    Engine.create ~fs
+      ~libraries:[ Library.create ~slots:16 ~label:"stacker0" () ]
+      ()
+  in
+
+  (* One call per strategy. *)
+  let logical = Engine.backup engine ~strategy:Strategy.Logical ~subtree:"/projects" () in
+  say "logical dump: %d bytes on %s" logical.Catalog.bytes
+    (String.concat "," logical.Catalog.media);
+  let physical = Engine.backup engine ~strategy:Strategy.Physical ~label:"home" () in
+  say "physical image dump: %d bytes (snapshot %s retained as incremental base)"
+    physical.Catalog.bytes physical.Catalog.snapshot;
+
+  (* Stupidity recovery: restore one deleted file from the logical dump. *)
+  let victim = List.hd (Generator.file_paths fs "/projects") in
+  Fs.unlink fs victim;
+  say "oops, deleted %s" victim;
+  let rel = String.sub victim 10 (String.length victim - 10) (* strip /projects/ *) in
+  ignore (Engine.restore_logical engine ~label:"/projects" ~fs ~target:"/projects" ~select:[ rel ] ());
+  say "single-file restore brought it back: %s exists again"
+    (match Fs.lookup fs victim with Some _ -> victim | None -> "ERROR");
+
+  (* Disaster recovery: the physical chain recreates the whole volume. *)
+  let replacement = Volume.create ~label:"new" (Volume.small_geometry ~data_blocks:16384) in
+  ignore (Engine.restore_physical engine ~label:"home" ~volume:replacement ());
+  let restored = Fs.mount replacement in
+  (match Compare.trees ~src:(fs, "/projects") ~dst:(restored, "/projects") () with
+  | Ok () -> say "disaster restore verified: restored volume matches the source"
+  | Error diffs -> say "MISMATCH: %s" (String.concat "; " diffs));
+
+  (* The physical restore preserves snapshots, as the paper promises. *)
+  say "snapshots on the restored volume: [%s]"
+    (String.concat "; " (List.map (fun s -> s.Fs.name) (Fs.snapshots restored)));
+  say "quickstart done."

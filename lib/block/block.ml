@@ -1,0 +1,21 @@
+let size = 4096
+
+type addr = int
+
+let zero () = Bytes.make size '\000'
+
+let is_zero b =
+  let exception Nonzero in
+  try
+    Bytes.iter (fun c -> if c <> '\000' then raise Nonzero) b;
+    true
+  with Nonzero -> false
+
+let check b =
+  if Bytes.length b <> size then
+    invalid_arg
+      (Printf.sprintf "Block.check: buffer is %d bytes, want %d" (Bytes.length b) size)
+
+let blocks_for len =
+  if len < 0 then invalid_arg "Block.blocks_for";
+  (len + size - 1) / size

@@ -1,0 +1,22 @@
+(** Block constants shared by the whole stack.
+
+    WAFL is block based, using 4 KB blocks with no fragments (paper §2);
+    every layer of this reproduction moves data in whole 4 KB blocks. *)
+
+val size : int
+(** 4096 bytes. *)
+
+type addr = int
+(** A volume block number (vbn). The volume presents a flat [0, nblocks)
+    address space assembled from its RAID groups' data disks. *)
+
+val zero : unit -> bytes
+(** A fresh all-zero block. *)
+
+val is_zero : bytes -> bool
+
+val check : bytes -> unit
+(** Raises [Invalid_argument] unless the buffer is exactly one block. *)
+
+val blocks_for : int -> int
+(** [blocks_for len] is the number of blocks needed to hold [len] bytes. *)

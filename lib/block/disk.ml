@@ -1,0 +1,105 @@
+type params = { blocks : int; seek_ms : float; transfer_mb_s : float }
+
+let default_params ~blocks = { blocks; seek_ms = 9.0; transfer_mb_s = 10.0 }
+
+exception Disk_failed of string
+
+type t = {
+  label : string;
+  params : params;
+  data : bytes option array;
+  resource : Repro_sim.Resource.t option;
+  service_scale : float;
+  mutable is_failed : bool;
+  mutable head : int; (* next contiguous block position; -1 = unknown *)
+  mutable busy : float;
+  mutable bytes : int;
+  mutable reads : int;
+  mutable writes : int;
+  mutable seeks : int;
+}
+
+let create ?resource ?(service_scale = 1.0) ~label params =
+  if params.blocks <= 0 then invalid_arg "Disk.create: no capacity";
+  {
+    label;
+    params;
+    data = Array.make params.blocks None;
+    resource;
+    service_scale;
+    is_failed = false;
+    head = -1;
+    busy = 0.0;
+    bytes = 0;
+    reads = 0;
+    writes = 0;
+    seeks = 0;
+  }
+
+let label t = t.label
+let capacity t = t.params.blocks
+
+let check_access t dbn =
+  if t.is_failed then raise (Disk_failed t.label);
+  if dbn < 0 || dbn >= t.params.blocks then
+    invalid_arg
+      (Printf.sprintf "Disk %s: block %d out of range [0,%d)" t.label dbn t.params.blocks)
+
+(* Positioning cost: nothing when the access continues the previous one, a
+   short settle (track-to-track plus partial rotation) for a nearby jump,
+   the full average seek otherwise. *)
+let near_distance = 128
+let near_ms = 2.5
+
+let charge t dbn nbytes =
+  let distance = abs (dbn - t.head) in
+  let position_ms =
+    if t.head >= 0 && distance = 0 then 0.0
+    else if t.head >= 0 && distance <= near_distance then near_ms
+    else t.params.seek_ms
+  in
+  if position_ms > 0.0 then t.seeks <- t.seeks + 1;
+  let service =
+    (position_ms /. 1000.0)
+    +. (Float.of_int nbytes /. (t.params.transfer_mb_s *. 1_000_000.0))
+  in
+  t.head <- dbn + 1;
+  t.busy <- t.busy +. service;
+  t.bytes <- t.bytes + nbytes;
+  match t.resource with
+  | Some r -> Repro_sim.Resource.charge r ~bytes:nbytes (service *. t.service_scale)
+  | None -> ()
+
+let read t dbn =
+  check_access t dbn;
+  t.reads <- t.reads + 1;
+  charge t dbn Block.size;
+  match t.data.(dbn) with Some b -> Bytes.copy b | None -> Block.zero ()
+
+let write t dbn b =
+  Block.check b;
+  check_access t dbn;
+  t.writes <- t.writes + 1;
+  charge t dbn Block.size;
+  t.data.(dbn) <- Some (Bytes.copy b)
+
+let fail t = t.is_failed <- true
+let failed t = t.is_failed
+
+let revive t =
+  t.is_failed <- false;
+  t.head <- -1;
+  Array.fill t.data 0 (Array.length t.data) None
+
+let busy_seconds t = t.busy
+let bytes_moved t = t.bytes
+let reads t = t.reads
+let writes t = t.writes
+let seeks t = t.seeks
+
+let reset_stats t =
+  t.busy <- 0.0;
+  t.bytes <- 0;
+  t.reads <- 0;
+  t.writes <- 0;
+  t.seeks <- 0

@@ -1,0 +1,60 @@
+(** A simulated disk drive.
+
+    Data is held in memory (lazily allocated 4 KB chunks). Each access is
+    charged a service time from a classic two-parameter model: a positioning
+    cost (average seek + rotational latency) whenever the access is not
+    contiguous with the previous one, plus a media-transfer cost
+    proportional to the bytes moved. This is the one property the paper's
+    analysis rests on: sequential block streams run at device speed while
+    inode-order file reads pay a seek per discontiguity.
+
+    Service time is charged to an optional shared {!Repro_sim.Resource.t}
+    (scaled by [service_scale], so a volume can normalize per-disk busy time
+    into whole-array utilization) and to per-disk counters. *)
+
+type params = {
+  blocks : int;  (** capacity in 4 KB blocks *)
+  seek_ms : float;
+      (** positioning cost for a far discontiguous access; jumps of at most
+          128 blocks pay a fixed 2.5 ms near-settle instead *)
+  transfer_mb_s : float;  (** sustained media rate, decimal MB/s *)
+}
+
+val default_params : blocks:int -> params
+(** 1998-era FC disk: 9 ms positioning, 10 MB/s media rate. *)
+
+type t
+
+val create :
+  ?resource:Repro_sim.Resource.t -> ?service_scale:float -> label:string -> params -> t
+
+val label : t -> string
+val capacity : t -> int
+
+val read : t -> int -> bytes
+(** [read d dbn] returns a fresh copy of block [dbn] (all zeros if never
+    written). Raises [Invalid_argument] if out of range or the disk has
+    {!fail}ed. *)
+
+val write : t -> int -> bytes -> unit
+
+exception Disk_failed of string
+
+val fail : t -> unit
+(** Simulate a total drive failure: subsequent [read]/[write] raise
+    [Disk_failed]. Used by the RAID reconstruction tests. *)
+
+val failed : t -> bool
+
+val revive : t -> unit
+(** Bring a replacement drive online in the same slot, with all blocks
+    zeroed (the RAID layer rebuilds contents). *)
+
+(** {1 Accounting} *)
+
+val busy_seconds : t -> float
+val bytes_moved : t -> int
+val reads : t -> int
+val writes : t -> int
+val seeks : t -> int
+val reset_stats : t -> unit

@@ -1,0 +1,12 @@
+(** Volume serialization.
+
+    Writes a volume's geometry and non-zero data blocks into a
+    {!Repro_util.Serde.writer} (sparse: zero blocks are skipped and
+    reappear as zeros on load), and rebuilds an equivalent volume — parity
+    recomputed by the RAID layer — on read. This is what lets the
+    [backupctl] tool keep simulated filers in ordinary host files between
+    invocations. *)
+
+val write : Repro_util.Serde.writer -> Volume.t -> unit
+val read : Repro_util.Serde.reader -> Volume.t
+(** Raises [Serde.Corrupt] on malformed input. *)

@@ -1,0 +1,102 @@
+type t = { label : string; disks : Disk.t array; blocks_per_disk : int }
+
+let create ?resource ?(service_scale = 1.0) ~label ~ndisks ~blocks_per_disk params =
+  if ndisks < 3 then invalid_arg "Raid.create: need at least 3 disks";
+  if blocks_per_disk <= 0 then invalid_arg "Raid.create: empty disks";
+  let params = { params with Disk.blocks = blocks_per_disk } in
+  let disks =
+    Array.init ndisks (fun i ->
+        Disk.create ?resource ~service_scale
+          ~label:(Printf.sprintf "%s.d%d" label i)
+          params)
+  in
+  { label; disks; blocks_per_disk }
+
+let label t = t.label
+let ndisks t = Array.length t.disks
+let data_disks t = ndisks t - 1
+let data_blocks t = data_disks t * t.blocks_per_disk
+let disks t = t.disks
+let stripes t = t.blocks_per_disk
+let parity_index t = ndisks t - 1
+
+let stripe_of_gbn t gbn =
+  if gbn < 0 || gbn >= data_blocks t then
+    invalid_arg (Printf.sprintf "Raid %s: gbn %d out of range" t.label gbn);
+  (gbn / data_disks t, gbn mod data_disks t)
+
+let xor_into dst src =
+  for i = 0 to Bytes.length dst - 1 do
+    Bytes.set dst i
+      (Char.chr (Char.code (Bytes.get dst i) lxor Char.code (Bytes.get src i)))
+  done
+
+(* Reconstruct disk [missing]'s block in [stripe] by xoring every other
+   disk's block, parity included. *)
+let reconstruct t ~missing stripe =
+  let acc = Block.zero () in
+  Array.iteri
+    (fun i d -> if i <> missing then xor_into acc (Disk.read d stripe))
+    t.disks;
+  acc
+
+let read t gbn =
+  let stripe, di = stripe_of_gbn t gbn in
+  let disk = t.disks.(di) in
+  if Disk.failed disk then reconstruct t ~missing:di stripe else Disk.read disk stripe
+
+let write t gbn b =
+  Block.check b;
+  let stripe, di = stripe_of_gbn t gbn in
+  let data_disk = t.disks.(di) in
+  let parity_disk = t.disks.(parity_index t) in
+  match (Disk.failed data_disk, Disk.failed parity_disk) with
+  | false, false ->
+    (* Read-modify-write: parity ^= old_data ^ new_data. *)
+    let old_data = Disk.read data_disk stripe in
+    let parity = Disk.read parity_disk stripe in
+    xor_into parity old_data;
+    xor_into parity b;
+    Disk.write data_disk stripe b;
+    Disk.write parity_disk stripe parity
+  | true, false ->
+    (* Degraded write: fold the new data into parity computed from the
+       surviving data disks. *)
+    let parity = Bytes.copy b in
+    for i = 0 to data_disks t - 1 do
+      if i <> di then xor_into parity (Disk.read t.disks.(i) stripe)
+    done;
+    Disk.write parity_disk stripe parity
+  | false, true -> Disk.write data_disk stripe b
+  | true, true -> raise (Disk.Disk_failed t.label)
+
+let write_stripe t stripe data =
+  if Array.length data <> data_disks t then
+    invalid_arg "Raid.write_stripe: wrong data width";
+  if stripe < 0 || stripe >= stripes t then invalid_arg "Raid.write_stripe: bad stripe";
+  Array.iter Block.check data;
+  let parity = Block.zero () in
+  Array.iter (fun b -> xor_into parity b) data;
+  Array.iteri
+    (fun i b -> if not (Disk.failed t.disks.(i)) then Disk.write t.disks.(i) stripe b)
+    data;
+  let pd = t.disks.(parity_index t) in
+  if not (Disk.failed pd) then Disk.write pd stripe parity
+
+let fail_disk t i = Disk.fail t.disks.(i)
+
+let rebuild_disk t i =
+  Disk.revive t.disks.(i);
+  for stripe = 0 to stripes t - 1 do
+    let b = reconstruct t ~missing:i stripe in
+    Disk.write t.disks.(i) stripe b
+  done
+
+let parity_consistent t =
+  let ok = ref true in
+  for stripe = 0 to stripes t - 1 do
+    let acc = Block.zero () in
+    Array.iter (fun d -> xor_into acc (Disk.read d stripe)) t.disks;
+    if not (Block.is_zero acc) then ok := false
+  done;
+  !ok

@@ -1,0 +1,126 @@
+type entry = {
+  id : int;
+  strategy : Strategy.t;
+  label : string;
+  level : int;
+  date : float;
+  bytes : int;
+  drive : int;
+  stream : int;
+  media : string list;
+  snapshot : string;
+  base_snapshot : string;
+}
+
+type t = { mutable next_id : int; mutable items : entry list (* newest first *) }
+
+let create () = { next_id = 1; items = [] }
+
+let add t entry =
+  let entry = { entry with id = t.next_id } in
+  t.next_id <- t.next_id + 1;
+  t.items <- entry :: t.items;
+  entry
+
+let entries t = List.rev t.items
+let find t ~id = List.find_opt (fun e -> e.id = id) t.items
+
+let restore_chain t ~label ~strategy =
+  let matching =
+    List.filter
+      (fun e -> String.equal e.label label && e.strategy = strategy)
+      (entries t)
+  in
+  (* Newest full backup. *)
+  let fulls = List.filter (fun e -> e.level = 0) matching in
+  match List.rev fulls with
+  | [] -> []
+  | full :: _ ->
+    let after = List.filter (fun e -> e.id > full.id && e.level > 0) matching in
+    (match strategy with
+    | Strategy.Physical ->
+      (* Follow the base-snapshot chain from the full. *)
+      let rec follow base acc =
+        match
+          List.find_opt (fun e -> String.equal e.base_snapshot base) after
+        with
+        | Some next when not (List.memq next acc) ->
+          follow next.snapshot (next :: acc)
+        | Some _ | None -> List.rev acc
+      in
+      full :: follow full.snapshot []
+    | Strategy.Logical ->
+      (* Classic dump rules: walk forward keeping entries whose level
+         exceeds the last kept entry's level; a repeat of a level
+         supersedes earlier dumps at or above it. *)
+      let chain =
+        List.fold_left
+          (fun kept e ->
+            let kept = List.filter (fun k -> k.level < e.level) kept in
+            kept @ [ e ])
+          [] after
+      in
+      full :: chain)
+
+let encode t =
+  let open Repro_util.Serde in
+  let w = writer () in
+  write_u32 w t.next_id;
+  let items = entries t in
+  write_u32 w (List.length items);
+  List.iter
+    (fun e ->
+      write_u32 w e.id;
+      write_u8 w (match e.strategy with Strategy.Logical -> 0 | Strategy.Physical -> 1);
+      write_string w e.label;
+      write_u8 w e.level;
+      write_u64 w (Int64.bits_of_float e.date);
+      write_int w e.bytes;
+      write_u16 w e.drive;
+      write_u16 w e.stream;
+      write_u16 w (List.length e.media);
+      List.iter (fun m -> write_string w m) e.media;
+      write_string w e.snapshot;
+      write_string w e.base_snapshot)
+    items;
+  contents w
+
+let decode s =
+  let open Repro_util.Serde in
+  let r = reader s in
+  let next_id = read_u32 r in
+  let n = read_u32 r in
+  let items =
+    List.init n (fun _ ->
+        let id = read_u32 r in
+        let strategy =
+          match read_u8 r with
+          | 0 -> Strategy.Logical
+          | 1 -> Strategy.Physical
+          | k -> raise (Corrupt (Printf.sprintf "bad strategy %d" k))
+        in
+        let label = read_string r in
+        let level = read_u8 r in
+        let date = Int64.float_of_bits (read_u64 r) in
+        let bytes = read_int r in
+        let drive = read_u16 r in
+        let stream = read_u16 r in
+        let nmedia = read_u16 r in
+        let media = List.init nmedia (fun _ -> read_string r) in
+        let snapshot = read_string r in
+        let base_snapshot = read_string r in
+        {
+          id;
+          strategy;
+          label;
+          level;
+          date;
+          bytes;
+          drive;
+          stream;
+          media;
+          snapshot;
+          base_snapshot;
+        })
+  in
+  { next_id; items = List.rev items }

@@ -1,0 +1,41 @@
+(** The backup catalog: what was backed up, when, how, and onto what.
+
+    The operational memory a real backup system keeps so restores do not
+    depend on an administrator remembering which cartridge holds which
+    level. Serializable, so it can itself be stored off the protected
+    volume. *)
+
+type entry = {
+  id : int;
+  strategy : Strategy.t;
+  label : string;  (** volume/subtree label *)
+  level : int;  (** dump level (physical: 0 = full, >0 = incremental) *)
+  date : float;
+  bytes : int;
+  drive : int;  (** stacker index the stream was written to *)
+  stream : int;  (** stream index on that stacker (filemark count) *)
+  media : string list;  (** cartridges the stream touches *)
+  snapshot : string;  (** snapshot the backup captured ("" for logical) *)
+  base_snapshot : string;  (** incremental base ("" if none) *)
+}
+
+type t
+
+val create : unit -> t
+val add : t -> entry -> entry
+(** Assigns the id; returns the completed entry. *)
+
+val entries : t -> entry list
+(** Ascending id. *)
+
+val find : t -> id:int -> entry option
+
+val restore_chain : t -> label:string -> strategy:Strategy.t -> entry list
+(** The newest full backup of [label] under [strategy] followed by the
+    applicable incrementals, in application order: for logical dumps the
+    classic level rules (each entry's level strictly greater than 0,
+    keeping only the latest at each level); for physical dumps the
+    base-snapshot chain. Empty if no full backup exists. *)
+
+val encode : t -> string
+val decode : string -> t

@@ -1,0 +1,195 @@
+module Resource = Repro_sim.Resource
+module Cost = Repro_sim.Cost
+module Fs = Repro_wafl.Fs
+module Library = Repro_tape.Library
+module Tape = Repro_tape.Tape
+module Tapeio = Repro_tape.Tapeio
+module Dump = Repro_dump.Dump
+module Restore = Repro_dump.Restore
+module Dumpdates = Repro_dump.Dumpdates
+module Filter = Repro_dump.Filter
+module Image_dump = Repro_image.Image_dump
+module Image_restore = Repro_image.Image_restore
+
+type t = {
+  e_fs : Fs.t;
+  libs : Library.t array;
+  dd : Dumpdates.t;
+  cat : Catalog.t;
+  cpu : Resource.t option;
+  costs : Cost.t;
+  streams : int array; (* streams written per drive *)
+  mutable snap_seq : int;
+}
+
+let create ?cpu ?(costs = Cost.f630) ~fs ~libraries () =
+  if libraries = [] then invalid_arg "Engine.create: no tape libraries";
+  {
+    e_fs = fs;
+    libs = Array.of_list libraries;
+    dd = Dumpdates.create ();
+    cat = Catalog.create ();
+    cpu;
+    costs;
+    streams = Array.make (List.length libraries) 0;
+    snap_seq = 0;
+  }
+
+let fs t = t.e_fs
+let catalog t = t.cat
+let dumpdates t = t.dd
+
+let media_of lib before =
+  let all = List.map Tape.media_label (Library.used_media lib) in
+  List.filter (fun m -> not (List.mem m before)) all
+
+let last_physical_snapshot t ~label =
+  match
+    List.rev
+      (List.filter
+         (fun (e : Catalog.entry) ->
+           e.Catalog.strategy = Strategy.Physical && String.equal e.Catalog.label label)
+         (Catalog.entries t.cat))
+  with
+  | e :: _ -> Some e.Catalog.snapshot
+  | [] -> None
+
+let backup t ~strategy ?(level = 0) ?(subtree = "/") ?exclude ?(drive = 0) ?label () =
+  let label = match label with Some l -> l | None -> subtree in
+  let lib = t.libs.(drive) in
+  let media_before = List.map Tape.media_label (Library.used_media lib) in
+  let stream = t.streams.(drive) in
+  let date = Fs.now t.e_fs in
+  let entry =
+    match strategy with
+    | Strategy.Logical ->
+      t.snap_seq <- t.snap_seq + 1;
+      let snap = Printf.sprintf "dump.%d" t.snap_seq in
+      Fs.snapshot_create t.e_fs snap;
+      let view = Fs.snapshot_view t.e_fs snap in
+      let result =
+        Dump.run ~level ~dumpdates:t.dd ?exclude ?cpu:t.cpu ~costs:t.costs ~view
+          ~subtree ~label ~date ~sink:(Tapeio.sink lib) ()
+      in
+      Fs.snapshot_delete t.e_fs snap;
+      {
+        Catalog.id = 0;
+        strategy;
+        label;
+        level;
+        date;
+        bytes = result.Dump.bytes_written;
+        drive;
+        stream;
+        media = media_of lib media_before;
+        snapshot = "";
+        base_snapshot = "";
+      }
+    | Strategy.Physical ->
+      t.snap_seq <- t.snap_seq + 1;
+      let snap = Printf.sprintf "image.%d" t.snap_seq in
+      Fs.snapshot_create t.e_fs snap;
+      let base =
+        if level = 0 then None
+        else
+          match last_physical_snapshot t ~label with
+          | Some b -> Some b
+          | None ->
+            Fs.snapshot_delete t.e_fs snap;
+            raise (Fs.Error "physical incremental requires a prior physical backup")
+      in
+      let result =
+        match base with
+        | None ->
+          Image_dump.full ?cpu:t.cpu ~costs:t.costs ~fs:t.e_fs ~snapshot:snap
+            ~sink:(Tapeio.sink lib) ()
+        | Some b ->
+          let r =
+            Image_dump.incremental ?cpu:t.cpu ~costs:t.costs ~fs:t.e_fs ~base:b
+              ~snapshot:snap ~sink:(Tapeio.sink lib) ()
+          in
+          (* The old base has served its purpose; the new snapshot anchors
+             the next incremental. *)
+          Fs.snapshot_delete t.e_fs b;
+          r
+      in
+      {
+        Catalog.id = 0;
+        strategy;
+        label;
+        level;
+        date;
+        bytes = result.Image_dump.bytes_written;
+        drive;
+        stream;
+        media = media_of lib media_before;
+        snapshot = snap;
+        base_snapshot = (match base with Some b -> b | None -> "");
+      }
+  in
+  t.streams.(drive) <- stream + 1;
+  Catalog.add t.cat entry
+
+let source_of t (e : Catalog.entry) =
+  Tapeio.source ~skip_streams:e.Catalog.stream t.libs.(e.Catalog.drive)
+
+let restore_logical t ~label ~fs ~target ?select () =
+  match Catalog.restore_chain t.cat ~label ~strategy:Strategy.Logical with
+  | [] -> raise (Fs.Error (Printf.sprintf "no logical backups of %S" label))
+  | chain ->
+    let session = Restore.session ?cpu:t.cpu ~costs:t.costs ~fs ~target () in
+    (match select with
+    | Some _ ->
+      (* Selective extraction reads only the newest full dump. *)
+      let full = List.hd chain in
+      [ Restore.apply ?select session (source_of t full) ]
+    | None ->
+      List.map (fun e -> Restore.apply session (source_of t e)) chain)
+
+let restore_physical t ~label ~volume () =
+  match Catalog.restore_chain t.cat ~label ~strategy:Strategy.Physical with
+  | [] -> raise (Fs.Error (Printf.sprintf "no physical backups of %S" label))
+  | chain ->
+    List.map
+      (fun e -> Image_restore.apply ?cpu:t.cpu ~costs:t.costs ~volume (source_of t e))
+      chain
+
+let table_of_contents t entry = Restore.table_of_contents (source_of t entry)
+
+let verify_logical t ~label ~fs ~target =
+  match Catalog.restore_chain t.cat ~label ~strategy:Strategy.Logical with
+  | [] -> Error [ Printf.sprintf "no logical backups of %S" label ]
+  | full :: _ -> Restore.compare ~fs ~target (source_of t full)
+
+let save w t =
+  let open Repro_util.Serde in
+  write_fixed w "RENG1";
+  write_u16 w (Array.length t.libs);
+  Array.iter (fun lib -> Library.save w lib) t.libs;
+  Array.iter (fun s -> write_u32 w s) t.streams;
+  write_string w (Dumpdates.encode t.dd);
+  write_string w (Catalog.encode t.cat);
+  write_u32 w t.snap_seq
+
+let load ?cpu ?(costs = Cost.f630) r ~fs =
+  let open Repro_util.Serde in
+  expect_magic r "RENG1";
+  let nlibs = read_u16 r in
+  let libs = Array.init nlibs (fun _ -> Library.load r) in
+  let streams = Array.init nlibs (fun _ -> read_u32 r) in
+  let dd = Dumpdates.decode (read_string r) in
+  let cat = Catalog.decode (read_string r) in
+  let snap_seq = read_u32 r in
+  { e_fs = fs; libs; dd; cat; cpu; costs; streams; snap_seq }
+
+let verify_physical t ~label =
+  match Catalog.restore_chain t.cat ~label ~strategy:Strategy.Physical with
+  | [] -> Error [ Printf.sprintf "no physical backups of %S" label ]
+  | chain ->
+    List.fold_left
+      (fun acc e ->
+        match (acc, Image_restore.verify (source_of t e)) with
+        | Ok n, Ok m -> Ok (n + m)
+        | Ok _, Error p | Error p, Ok _ -> Error p
+        | Error p, Error q -> Error (p @ q))
+      (Ok 0) chain

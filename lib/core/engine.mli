@@ -1,0 +1,93 @@
+(** The backup engine: the library's front door.
+
+    Owns a file system, a set of tape stackers, the dumpdates database and
+    the catalog, and exposes one-call backup and restore under either
+    strategy. Snapshot handling follows the paper's practice: every backup
+    reads from a snapshot taken for the purpose; logical dumps delete it
+    afterwards, physical dumps retain it as the base for the next
+    incremental (retiring the previous base once it is no longer needed).
+
+    Multiple backups stack onto one stacker as successive tape streams;
+    the catalog records drive and stream indices so restores find their
+    media without operator memory. *)
+
+type t
+
+val create :
+  ?cpu:Repro_sim.Resource.t ->
+  ?costs:Repro_sim.Cost.t ->
+  fs:Repro_wafl.Fs.t ->
+  libraries:Repro_tape.Library.t list ->
+  unit ->
+  t
+
+val fs : t -> Repro_wafl.Fs.t
+val catalog : t -> Catalog.t
+val dumpdates : t -> Repro_dump.Dumpdates.t
+
+val backup :
+  t ->
+  strategy:Strategy.t ->
+  ?level:int ->
+  ?subtree:string ->
+  ?exclude:Repro_dump.Filter.t ->
+  ?drive:int ->
+  ?label:string ->
+  unit ->
+  Catalog.entry
+(** [level] defaults to 0 (full). [subtree] defaults to ["/"] and applies
+    to logical backups only (a physical dump always captures the volume).
+    [label] defaults to the subtree. Raises [Repro_wafl.Fs.Error] on a
+    level->0 physical incremental with no prior full, or an invalid
+    subtree. *)
+
+val restore_logical :
+  t ->
+  label:string ->
+  fs:Repro_wafl.Fs.t ->
+  target:string ->
+  ?select:string list ->
+  unit ->
+  Repro_dump.Restore.apply_result list
+(** Apply the full-plus-incrementals chain for [label] into
+    [target]. [select] extracts specific paths from the newest applicable
+    full dump only (stupidity recovery does not need the whole chain when
+    the file is on the level-0 tape; for files created later, restore the
+    chain without [select]). *)
+
+val restore_physical :
+  t ->
+  label:string ->
+  volume:Repro_block.Volume.t ->
+  unit ->
+  Repro_image.Image_restore.result list
+(** Disaster recovery: replay the image chain onto a (new) volume. Mount
+    it afterwards with [Repro_wafl.Fs.mount]. *)
+
+val verify_physical : t -> label:string -> (int, string list) result
+(** Checksum-verify every stream of the physical chain. *)
+
+val table_of_contents : t -> Catalog.entry -> Repro_dump.Restore.toc_entry list
+(** Read the named stream's front matter and list its contents (logical
+    dumps only). *)
+
+val verify_logical :
+  t -> label:string -> fs:Repro_wafl.Fs.t -> target:string -> (unit, string list) result
+(** [restore -C]: compare the newest full logical dump of [label] against
+    the live tree under [target] without writing anything. Meaningful when
+    the tree has not changed since that dump (verify right after backup). *)
+
+(** {1 Persistence}
+
+    The engine's operational state — stackers with their cartridges, the
+    dumpdates database, the catalog, stream counters — serializes as one
+    blob. The file system's volume is saved separately (see
+    {!Repro_block.Persist} and {!Store}). *)
+
+val save : Repro_util.Serde.writer -> t -> unit
+val load :
+  ?cpu:Repro_sim.Resource.t ->
+  ?costs:Repro_sim.Cost.t ->
+  Repro_util.Serde.reader ->
+  fs:Repro_wafl.Fs.t ->
+  t

@@ -1,0 +1,60 @@
+module Resource = Repro_sim.Resource
+module Pipeline = Repro_sim.Pipeline
+
+let collect ~resources f =
+  let stages = ref [] in
+  let observe label work =
+    let before = List.map (fun r -> (r, Resource.busy r, Resource.bytes r)) resources in
+    work ();
+    let demands =
+      List.filter_map
+        (fun (r, busy0, bytes0) ->
+          let dbusy = Resource.busy r -. busy0 in
+          let dbytes = Resource.bytes r - bytes0 in
+          if dbusy > 0.0 || dbytes > 0 then
+            Some (Pipeline.demand ~bytes:dbytes r dbusy)
+          else None)
+        before
+    in
+    stages := Pipeline.stage label demands :: !stages
+  in
+  let result = f observe in
+  (result, List.rev !stages)
+
+let add_demand stages ~stage demand =
+  List.map
+    (fun (s : Pipeline.stage) ->
+      if String.equal s.Pipeline.label stage then
+        Pipeline.stage s.Pipeline.label (s.Pipeline.demands @ [ demand ])
+      else s)
+    stages
+
+let scale_stages stages factor =
+  List.map
+    (fun (s : Pipeline.stage) ->
+      Pipeline.stage s.Pipeline.label
+        (List.map
+           (fun (d : Pipeline.demand) ->
+             Pipeline.demand
+               ~bytes:(Float.to_int (Float.of_int d.Pipeline.bytes *. factor))
+               d.Pipeline.resource
+               (d.Pipeline.work *. factor))
+           s.Pipeline.demands))
+    stages
+
+let retarget stages ~from_prefix ~to_resource =
+  let matches r =
+    let name = Resource.name r in
+    String.length name >= String.length from_prefix
+    && String.equal (String.sub name 0 (String.length from_prefix)) from_prefix
+  in
+  List.map
+    (fun (s : Pipeline.stage) ->
+      Pipeline.stage s.Pipeline.label
+        (List.map
+           (fun (d : Pipeline.demand) ->
+             if matches d.Pipeline.resource then
+               Pipeline.demand ~bytes:d.Pipeline.bytes to_resource d.Pipeline.work
+             else d)
+           s.Pipeline.demands))
+    stages

@@ -1,0 +1,41 @@
+(** Stage-level measurement.
+
+    The experiment harness runs each backup stream's real code serially
+    while snapshotting resource counters (CPU, disk array, tape drive)
+    around every stage the dump/restore implementations announce through
+    their [observe] hooks. The resulting per-stage demand vectors feed the
+    fluid {!Repro_sim.Pipeline} solver, which overlaps them the way the
+    pipelined filer would and yields the elapsed-time and utilization
+    numbers of Tables 2–5. *)
+
+val collect :
+  resources:Repro_sim.Resource.t list ->
+  ((string -> (unit -> unit) -> unit) -> 'a) ->
+  'a * Repro_sim.Pipeline.stage list
+(** [collect ~resources f] calls [f observe]; every [observe label work]
+    executed inside becomes one {!Repro_sim.Pipeline.stage} whose demands
+    are the busy-time and byte deltas each resource accumulated during
+    [work]. Stages with no measurable demand are kept (zero-cost stages
+    complete instantly in the solver). *)
+
+val add_demand :
+  Repro_sim.Pipeline.stage list ->
+  stage:string ->
+  Repro_sim.Pipeline.demand ->
+  Repro_sim.Pipeline.stage list
+(** Append a synthetic demand (e.g. per-operation serialization latency) to
+    the named stage. *)
+
+val scale_stages :
+  Repro_sim.Pipeline.stage list -> float -> Repro_sim.Pipeline.stage list
+(** Multiply every demand (work and bytes) — used to split one measured
+    physical stream into [n] symmetric parallel streams. *)
+
+val retarget :
+  Repro_sim.Pipeline.stage list ->
+  from_prefix:string ->
+  to_resource:Repro_sim.Resource.t ->
+  Repro_sim.Pipeline.stage list
+(** Re-point demands whose resource name starts with [from_prefix] (e.g.
+    ["tape:"]) at a different resource — gives each synthetic parallel
+    stream its own tape drive. *)

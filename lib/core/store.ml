@@ -1,0 +1,39 @@
+module Serde = Repro_util.Serde
+module Persist = Repro_block.Persist
+module Fs = Repro_wafl.Fs
+
+let magic = "RSTORE1"
+
+let save ~path engine =
+  Fs.cp (Engine.fs engine);
+  let w = Serde.writer ~initial_size:(1 lsl 20) () in
+  Serde.write_fixed w magic;
+  Persist.write w (Fs.volume (Engine.fs engine));
+  Engine.save w engine;
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (Serde.contents w))
+
+let load ?cpu ?costs ~path () =
+  let ic = open_in_bin path in
+  let data =
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  let r = Serde.reader data in
+  Serde.expect_magic r magic;
+  let vol = Persist.read r in
+  let config =
+    match (cpu, costs) with
+    | None, None -> Fs.default_config ()
+    | _ ->
+      {
+        (Fs.default_config ()) with
+        Fs.cpu;
+        costs = (match costs with Some c -> c | None -> Repro_sim.Cost.f630);
+      }
+  in
+  let fs = Fs.mount ~config vol in
+  Engine.load ?cpu ?costs r ~fs

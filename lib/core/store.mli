@@ -1,0 +1,14 @@
+(** One-file persistence for a whole simulated filer.
+
+    A store file holds the volume image (sparse), the tape stackers with
+    their cartridges, the catalog and the dumpdates database, so the
+    [backupctl] command-line tool can operate on a filer across process
+    invocations like any other stateful system. *)
+
+val save : path:string -> Engine.t -> unit
+(** Takes a consistency point first, then writes everything. *)
+
+val load :
+  ?cpu:Repro_sim.Resource.t -> ?costs:Repro_sim.Cost.t -> path:string -> unit -> Engine.t
+(** Raises [Sys_error] on I/O problems, [Serde.Corrupt] or
+    [Repro_wafl.Fs.Error] on a damaged store. *)

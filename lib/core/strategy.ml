@@ -1,0 +1,5 @@
+type t = Logical | Physical
+
+let all = [ Logical; Physical ]
+let to_string = function Logical -> "logical" | Physical -> "physical"
+let pp ppf t = Format.pp_print_string ppf (to_string t)

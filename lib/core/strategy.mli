@@ -1,0 +1,9 @@
+(** The two backup strategies the paper compares. *)
+
+type t =
+  | Logical  (** file-based, BSD-dump style: portable, file-granular *)
+  | Physical  (** block-based image dump: fast, scalable, all-or-nothing *)
+
+val all : t list
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit

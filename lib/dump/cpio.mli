@@ -1,0 +1,46 @@
+(** A cpio-style logical backup (the portable ASCII "odc" flavor): the
+    paper's other named baseline format (§1, §3).
+
+    Each entry is a 76-byte ASCII header of octal fields (device, inode,
+    mode, uid, gid, nlink, mtime, name size, file size) followed by the
+    NUL-terminated name and the raw data; the archive ends with the
+    [TRAILER!!!] entry.
+
+    Interesting contrasts with both tar and dump:
+    - unlike tar, the header carries (dev, ino, nlink), so an extractor
+      can reconstruct hard links by inode matching — but the odc format
+      still stores the {e data} once per name, so multiply-linked files
+      cost their size per link on the media;
+    - like tar, incrementals are mtime-only ([?newer]): deletions and
+      renames cannot be expressed, multi-protocol attributes are dropped,
+      and holes densify. *)
+
+type entry = {
+  e_path : string;
+  e_ino : int;
+  e_nlink : int;
+  e_kind : [ `File | `Dir | `Symlink ];
+  e_size : int;
+  e_perms : int;
+  e_mtime : float;
+}
+
+type create_result = { entries_written : int; bytes_written : int }
+
+val create :
+  ?newer:float ->
+  view:Repro_wafl.Fs.View.v ->
+  subtree:string ->
+  sink:Repro_tape.Tapeio.sink ->
+  unit ->
+  create_result
+
+type extract_result = { entries_extracted : int; links_made : int; bytes_restored : int }
+
+val extract :
+  fs:Repro_wafl.Fs.t -> target:string -> Repro_tape.Tapeio.source -> extract_result
+(** Unpack under [target]; entries sharing an inode number become hard
+    links of the first-extracted name. Raises [Serde.Corrupt] on a
+    malformed header. *)
+
+val list : Repro_tape.Tapeio.source -> entry list

@@ -1,0 +1,21 @@
+(** The dumpdates database: which level was dumped when, per label.
+
+    The classic [/etc/dumpdates]: a level-[n] incremental backs up files
+    changed since the most recent dump of any level below [n] — its
+    {e base}. *)
+
+type t
+
+val create : unit -> t
+val record : t -> label:string -> level:int -> date:float -> unit
+(** Replaces any earlier entry for (label, level). *)
+
+val get : t -> label:string -> level:int -> float option
+
+val base_date : t -> label:string -> level:int -> float
+(** Most recent dump date among levels strictly below [level]; [0.0] if
+    none (so a level-0 dump bases on the epoch and takes everything). *)
+
+val encode : t -> string
+val decode : string -> t
+(** Raises [Serde.Corrupt] on malformed input. *)

@@ -1,0 +1,40 @@
+type t = string list
+
+let compile patterns = patterns
+let none = []
+
+(* Classic recursive glob. '**' crosses '/' boundaries, '*' does not. *)
+let matches pattern text =
+  let pl = String.length pattern and tl = String.length text in
+  let rec go p t =
+    if p >= pl then t >= tl
+    else if p + 1 < pl && pattern.[p] = '*' && pattern.[p + 1] = '*' then
+      (* '**': try consuming any amount of text *)
+      let rec try_from i = if i > tl then false else go (p + 2) i || try_from (i + 1) in
+      try_from t
+    else
+      match pattern.[p] with
+      | '*' ->
+        let rec try_from i =
+          if i > tl then false
+          else if go (p + 1) i then true
+          else if i < tl && text.[i] <> '/' then try_from (i + 1)
+          else false
+        in
+        try_from t
+      | '?' -> t < tl && text.[t] <> '/' && go (p + 1) (t + 1)
+      | c -> t < tl && text.[t] = c && go (p + 1) (t + 1)
+  in
+  go 0 0
+
+let basename path =
+  match String.rindex_opt path '/' with
+  | Some i -> String.sub path (i + 1) (String.length path - i - 1)
+  | None -> path
+
+let excluded t path =
+  List.exists
+    (fun pattern ->
+      if String.contains pattern '/' then matches pattern path
+      else matches pattern (basename path))
+    t

@@ -1,0 +1,49 @@
+(** A tar-style logical backup: the baseline the paper compares dump
+    against (§1, §3).
+
+    Classic ustar-compatible layout: 512-byte headers with octal fields
+    and a checksum, file data in 512-byte blocks, two zero blocks as the
+    end-of-archive marker. Path-based, not inode-based — which is exactly
+    where its weaknesses come from:
+
+    - an incremental ([?newer]) can only say "this file changed"; it has
+      no inode maps, so restoring a chain cannot detect deletions or
+      renames (the ghosts stay) — dump's usage bitmaps can;
+    - there is nowhere to put multi-protocol attributes, so DOS flags and
+      ACL xattrs are silently dropped ("certain attributes may not map
+      across", paper §3);
+    - holes are not represented: sparse files come back dense.
+
+    These deficiencies are intentional fidelity to the baseline; the test
+    suite asserts each of them. *)
+
+type entry = {
+  e_path : string;  (** subtree-relative *)
+  e_is_dir : bool;
+  e_link : string;  (** symlink target; [""] for other kinds *)
+  e_size : int;
+  e_perms : int;
+  e_mtime : float;
+}
+
+type create_result = { entries_written : int; bytes_written : int }
+
+val create :
+  ?newer:float ->
+  view:Repro_wafl.Fs.View.v ->
+  subtree:string ->
+  sink:Repro_tape.Tapeio.sink ->
+  unit ->
+  create_result
+(** Archive the subtree (directories first, then files, both in path
+    order). With [?newer], only files/directories whose mtime exceeds the
+    bound are included (classic incremental tar). Closes the sink. *)
+
+type extract_result = { entries_extracted : int; bytes_restored : int }
+
+val extract :
+  fs:Repro_wafl.Fs.t -> target:string -> Repro_tape.Tapeio.source -> extract_result
+(** Unpack under [target] (created if missing), overwriting existing
+    files. Raises [Serde.Corrupt] on a bad header checksum. *)
+
+val list : Repro_tape.Tapeio.source -> entry list

@@ -1,0 +1,119 @@
+module Serde = Repro_util.Serde
+module Crc32 = Repro_util.Crc32
+
+let stream_magic = "WIMG1"
+let max_extent_blocks = 64
+let block_size = 4096
+
+type kind = Full | Incremental
+
+type header = {
+  kind : kind;
+  snap_name : string;
+  base_name : string;
+  volume_blocks : int;
+  block_count : int;
+  dump_date : float;
+  generation : int;
+}
+
+let encode_header h =
+  let open Serde in
+  let w = writer () in
+  write_fixed w stream_magic;
+  write_u8 w (match h.kind with Full -> 0 | Incremental -> 1);
+  write_string w h.snap_name;
+  write_string w h.base_name;
+  write_u32 w h.volume_blocks;
+  write_u32 w h.block_count;
+  write_u64 w (Int64.bits_of_float h.dump_date);
+  write_u32 w h.generation;
+  let body = contents w in
+  let crc = Crc32.string body in
+  let w2 = writer () in
+  write_u32 w2 (String.length body);
+  write_fixed w2 body;
+  write_u32 w2 crc;
+  contents w2
+
+let decode_header r =
+  let open Serde in
+  let len = read_u32 r in
+  let body = read_fixed r len in
+  let crc = read_u32 r in
+  if crc <> Crc32.string body then raise (Corrupt "image header checksum mismatch");
+  let r = reader body in
+  expect_magic r stream_magic;
+  let kind =
+    match read_u8 r with
+    | 0 -> Full
+    | 1 -> Incremental
+    | n -> raise (Corrupt (Printf.sprintf "bad image kind %d" n))
+  in
+  let snap_name = read_string r in
+  let base_name = read_string r in
+  let volume_blocks = read_u32 r in
+  let block_count = read_u32 r in
+  let dump_date = Int64.float_of_bits (read_u64 r) in
+  let generation = read_u32 r in
+  { kind; snap_name; base_name; volume_blocks; block_count; dump_date; generation }
+
+let read_header input =
+  let len_bytes = input 4 in
+  let len = Int32.to_int (String.get_int32_le len_bytes 0) land 0xffffffff in
+  if len > 1_000_000 then raise (Serde.Corrupt "implausible image header length");
+  let rest = input (len + 4) in
+  decode_header (Serde.reader (len_bytes ^ rest))
+
+type record = Extent of { vbn : int; data : string } | Trailer of { fsinfo : string }
+
+let tag_extent = 1
+let tag_trailer = 2
+
+let encode_extent ~vbn ~data =
+  let n = String.length data / block_size in
+  if String.length data mod block_size <> 0 || n = 0 || n > max_extent_blocks then
+    invalid_arg "Format.encode_extent";
+  let open Serde in
+  let w = writer ~initial_size:(String.length data + 16) () in
+  write_u8 w tag_extent;
+  write_u32 w vbn;
+  write_u16 w n;
+  write_u32 w (Crc32.string data);
+  write_fixed w data;
+  contents w
+
+let encode_trailer ~fsinfo =
+  if String.length fsinfo <> block_size then invalid_arg "Format.encode_trailer";
+  let open Serde in
+  let w = writer () in
+  write_u8 w tag_trailer;
+  write_u32 w (Crc32.string fsinfo);
+  write_fixed w fsinfo;
+  contents w
+
+let read_record input =
+  let open Serde in
+  let byte s = Char.code s.[0] in
+  let tag = byte (input 1) in
+  if tag = tag_extent then begin
+    let hdr = input 10 in
+    let r = reader hdr in
+    let vbn = read_u32 r in
+    let n = read_u16 r in
+    let crc = read_u32 r in
+    if n = 0 || n > max_extent_blocks then
+      raise (Corrupt (Printf.sprintf "extent at vbn %d has bad count %d" vbn n));
+    let data = input (n * block_size) in
+    if Crc32.string data <> crc then
+      raise (Corrupt (Printf.sprintf "extent at vbn %d fails checksum" vbn));
+    Extent { vbn; data }
+  end
+  else if tag = tag_trailer then begin
+    let r = reader (input 4) in
+    let crc = read_u32 r in
+    let fsinfo = input block_size in
+    if Crc32.string fsinfo <> crc then raise (Corrupt "trailer fsinfo fails checksum");
+    Trailer { fsinfo }
+  end
+  else raise (Corrupt (Printf.sprintf "unknown image record tag %d" tag))

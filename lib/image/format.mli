@@ -1,0 +1,51 @@
+(** The image (physical) dump stream format.
+
+    A self-identifying header, then checksummed {e extent records} — runs
+    of consecutive 4 KB blocks tagged with their volume block address ("the
+    block address of each block written to the backup medium [is] recorded
+    so that restore can put the data back where it belongs", paper §4) —
+    and a trailer carrying the fsinfo block that makes the restored volume
+    mountable.
+
+    Unlike the logical format this is deliberately {e non-portable}: it can
+    only recreate a file system whose on-disk layout matches, on a volume
+    at least as large (the paper's portability limitation, reproduced
+    rather than fixed). *)
+
+val stream_magic : string
+
+type kind = Full | Incremental
+
+type header = {
+  kind : kind;
+  snap_name : string;  (** the snapshot this dump captures *)
+  base_name : string;  (** base snapshot; "" for a full dump *)
+  volume_blocks : int;
+  block_count : int;  (** extent-record blocks that follow *)
+  dump_date : float;
+  generation : int;
+}
+
+val encode_header : header -> string
+val decode_header : Repro_util.Serde.reader -> header
+(** Raises [Serde.Corrupt]. *)
+
+val read_header : (int -> string) -> header
+(** [read_header input] where [input n] yields exactly [n] bytes. *)
+
+(** Records after the header are framed with a one-byte tag read via
+    {!read_record}. *)
+
+type record =
+  | Extent of { vbn : int; data : string }
+      (** [data] is [count * 4096] bytes for blocks [vbn, vbn+count). A bad
+          checksum raises [Serde.Corrupt] naming the vbn. *)
+  | Trailer of { fsinfo : string }  (** 4096-byte fsinfo image *)
+
+val max_extent_blocks : int
+(** 64. *)
+
+val encode_extent : vbn:int -> data:string -> string
+val encode_trailer : fsinfo:string -> string
+val read_record : (int -> string) -> record
+(** [read_record input] where [input n] yields exactly [n] bytes. *)

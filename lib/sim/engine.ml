@@ -1,0 +1,39 @@
+type event = { time : float; action : unit -> unit }
+
+type t = { clock : Clock.t; queue : event Repro_util.Heap.t }
+
+let create () =
+  {
+    clock = Clock.create ();
+    queue = Repro_util.Heap.create ~cmp:(fun a b -> Float.compare a.time b.time);
+  }
+
+let clock t = t.clock
+let now t = Clock.now t.clock
+
+let schedule_at t time action =
+  if time < Clock.now t.clock -. 1e-9 then
+    invalid_arg "Engine.schedule_at: time in the past";
+  Repro_util.Heap.push t.queue { time; action }
+
+let schedule_in t delay action = schedule_at t (now t +. delay) action
+let pending t = Repro_util.Heap.length t.queue
+
+let step t =
+  match Repro_util.Heap.pop t.queue with
+  | None -> false
+  | Some { time; action } ->
+    Clock.advance_to t.clock time;
+    action ();
+    true
+
+let run t = while step t do () done
+
+let run_until t horizon =
+  let continue = ref true in
+  while !continue do
+    match Repro_util.Heap.peek t.queue with
+    | Some e when e.time <= horizon -> ignore (step t)
+    | Some _ | None -> continue := false
+  done;
+  Clock.advance_to t.clock horizon

@@ -1,0 +1,263 @@
+type demand = { resource : Resource.t; work : float; bytes : int }
+
+let demand ?(bytes = 0) resource work =
+  if work < 0.0 then invalid_arg "Pipeline.demand: negative work";
+  { resource; work; bytes }
+
+type stage = { label : string; demands : demand list }
+
+let stage label demands = { label; demands }
+
+type stream = { stream_label : string; stages : stage list }
+
+type stage_summary = {
+  stage_label : string;
+  start : float;
+  finish : float;
+  busy : (string * float) list;
+  stage_bytes : (string * int) list;
+}
+
+type report = { elapsed : float; stages : stage_summary list }
+
+(* A task is one stream's currently-active stage. [remaining] is the
+   fraction of the stage left (1.0 at stage entry). *)
+type task = {
+  mutable stage_index : int;
+  mutable remaining : float;
+  stream : stream;
+  mutable rate : float;
+}
+
+type stage_acc = {
+  acc_label : string;
+  mutable acc_start : float;
+  mutable acc_finish : float;
+  acc_busy : (string, float ref) Hashtbl.t;
+  acc_bytes : (string, int ref) Hashtbl.t;
+  acc_order : int;
+}
+
+let eps = 1e-9
+
+let current_stage task = List.nth task.stream.stages task.stage_index
+let task_done task = task.stage_index >= List.length task.stream.stages
+
+(* Max-min fair rates by progressive filling. Tasks whose stage has an
+   all-zero demand vector are unconstrained; callers complete them
+   instantly before invoking the solver. *)
+let solve_rates tasks =
+  let resources = Hashtbl.create 16 in
+  let resource_key r = Resource.name r in
+  List.iter
+    (fun t ->
+      List.iter
+        (fun d ->
+          if d.work > 0.0 then
+            if not (Hashtbl.mem resources (resource_key d.resource)) then
+              Hashtbl.add resources (resource_key d.resource) ())
+        (current_stage t).demands)
+    tasks;
+  (* Demand of task [t] on resource [key], in service-seconds per stage
+     fraction. *)
+  let weight t key =
+    List.fold_left
+      (fun acc d ->
+        if String.equal (resource_key d.resource) key then acc +. d.work else acc)
+      0.0 (current_stage t).demands
+  in
+  let unfrozen = ref (List.filter (fun t -> not (task_done t)) tasks) in
+  List.iter (fun t -> t.rate <- 0.0) !unfrozen;
+  let residual = Hashtbl.create 16 in
+  Hashtbl.iter (fun key () -> Hashtbl.replace residual key 1.0) resources;
+  let level = ref 0.0 in
+  let continue = ref true in
+  while !continue && !unfrozen <> [] do
+    (* Max additional level before some resource saturates. *)
+    let best = ref None in
+    Hashtbl.iter
+      (fun key residual_cap ->
+        let total_w =
+          List.fold_left (fun acc t -> acc +. weight t key) 0.0 !unfrozen
+        in
+        if total_w > eps then begin
+          let delta = (residual_cap -. (!level *. total_w)) /. total_w in
+          match !best with
+          | Some (_, d) when d <= delta -> ()
+          | _ -> best := Some (key, delta)
+        end)
+      residual;
+    match !best with
+    | None ->
+      (* No unfrozen task uses any resource: unconstrained; give them a
+         large finite rate so they finish effectively instantly. *)
+      List.iter (fun t -> t.rate <- 1e12) !unfrozen;
+      continue := false
+    | Some (bottleneck, delta) ->
+      let new_level = !level +. Float.max 0.0 delta in
+      let frozen_now, still =
+        List.partition (fun t -> weight t bottleneck > eps) !unfrozen
+      in
+      List.iter
+        (fun t ->
+          t.rate <- new_level;
+          (* Remove the frozen task's load from every resource it uses. *)
+          List.iter
+            (fun d ->
+              if d.work > 0.0 then begin
+                let key = resource_key d.resource in
+                let cap = Hashtbl.find residual key in
+                Hashtbl.replace residual key (cap -. (new_level *. d.work))
+              end)
+            (current_stage t).demands)
+        frozen_now;
+      level := new_level;
+      unfrozen := still;
+      if frozen_now = [] then begin
+        (* Defensive: the bottleneck had weight from someone or [best]
+           would be [None]; avoid an infinite loop regardless. *)
+        List.iter (fun t -> t.rate <- Float.max new_level eps) !unfrozen;
+        continue := false
+      end
+  done
+
+let run ?clock streams =
+  let clock = match clock with Some c -> c | None -> Clock.create () in
+  let start_time = Clock.now clock in
+  let tasks =
+    List.map (fun s -> { stage_index = 0; remaining = 1.0; stream = s; rate = 0.0 }) streams
+  in
+  let accs : (string, stage_acc) Hashtbl.t = Hashtbl.create 16 in
+  let order = ref 0 in
+  let acc_for label =
+    match Hashtbl.find_opt accs label with
+    | Some a -> a
+    | None ->
+      let a =
+        {
+          acc_label = label;
+          acc_start = Clock.now clock;
+          acc_finish = Clock.now clock;
+          acc_busy = Hashtbl.create 8;
+          acc_bytes = Hashtbl.create 8;
+          acc_order = !order;
+        }
+      in
+      incr order;
+      Hashtbl.add accs label a;
+      a
+  in
+  let bump tbl key v zero add =
+    match Hashtbl.find_opt tbl key with
+    | Some r -> r := add !r v
+    | None -> Hashtbl.add tbl key (ref (add zero v))
+  in
+  (* Entering a stage opens (or reopens) its accumulation window. *)
+  let enter_stage task =
+    if not (task_done task) then begin
+      let a = acc_for (current_stage task).label in
+      if Clock.now clock < a.acc_start then a.acc_start <- Clock.now clock
+    end
+  in
+  List.iter enter_stage tasks;
+  (* Stages with an empty/zero demand vector finish in zero time. *)
+  let rec skip_instant task =
+    if not (task_done task) then begin
+      let st = current_stage task in
+      let total = List.fold_left (fun acc d -> acc +. d.work) 0.0 st.demands in
+      if total <= eps then begin
+        let a = acc_for st.label in
+        a.acc_finish <- Float.max a.acc_finish (Clock.now clock);
+        List.iter
+          (fun d ->
+            if d.bytes > 0 then
+              bump a.acc_bytes (Resource.name d.resource) d.bytes 0 ( + ))
+          st.demands;
+        task.stage_index <- task.stage_index + 1;
+        task.remaining <- 1.0;
+        enter_stage task;
+        skip_instant task
+      end
+    end
+  in
+  List.iter skip_instant tasks;
+  let active () = List.filter (fun t -> not (task_done t)) tasks in
+  let rec loop () =
+    match active () with
+    | [] -> ()
+    | running ->
+      solve_rates running;
+      let dt =
+        List.fold_left
+          (fun acc t -> Float.min acc (t.remaining /. Float.max t.rate eps))
+          infinity running
+      in
+      let dt = Float.max dt 0.0 in
+      Clock.advance clock dt;
+      List.iter
+        (fun t ->
+          let st = current_stage t in
+          let a = acc_for st.label in
+          let progressed = Float.min t.remaining (t.rate *. dt) in
+          List.iter
+            (fun d ->
+              if d.work > 0.0 then begin
+                let secs = progressed *. d.work in
+                Resource.charge d.resource secs;
+                bump a.acc_busy (Resource.name d.resource) secs 0.0 ( +. )
+              end)
+            st.demands;
+          t.remaining <- t.remaining -. progressed;
+          if t.remaining <= eps then begin
+            a.acc_finish <- Float.max a.acc_finish (Clock.now clock);
+            List.iter
+              (fun d ->
+                if d.bytes > 0 then begin
+                  Resource.charge d.resource ~bytes:d.bytes 0.0;
+                  bump a.acc_bytes (Resource.name d.resource) d.bytes 0 ( + )
+                end)
+              st.demands;
+            t.stage_index <- t.stage_index + 1;
+            t.remaining <- 1.0;
+            enter_stage t;
+            skip_instant t
+          end)
+        running;
+      loop ()
+  in
+  loop ();
+  let stages =
+    Hashtbl.fold (fun _ a acc -> a :: acc) accs []
+    |> List.sort (fun a b -> compare a.acc_order b.acc_order)
+    |> List.map (fun a ->
+           {
+             stage_label = a.acc_label;
+             start = a.acc_start;
+             finish = a.acc_finish;
+             busy =
+               Hashtbl.fold (fun k v acc -> (k, !v) :: acc) a.acc_busy []
+               |> List.sort (fun (a, _) (b, _) -> String.compare a b);
+             stage_bytes =
+               Hashtbl.fold (fun k v acc -> (k, !v) :: acc) a.acc_bytes []
+               |> List.sort (fun (a, _) (b, _) -> String.compare a b);
+           })
+  in
+  { elapsed = Clock.now clock -. start_time; stages }
+
+let stage_elapsed s = Float.max 0.0 (s.finish -. s.start)
+
+let stage_utilization s resource =
+  let elapsed = stage_elapsed s in
+  if elapsed <= 0.0 then 0.0
+  else
+    match List.assoc_opt resource s.busy with
+    | Some b -> b /. elapsed
+    | None -> 0.0
+
+let stage_rate_mb_s s resource =
+  let elapsed = stage_elapsed s in
+  if elapsed <= 0.0 then 0.0
+  else
+    match List.assoc_opt resource s.stage_bytes with
+    | Some b -> Float.of_int b /. 1_000_000.0 /. elapsed
+    | None -> 0.0

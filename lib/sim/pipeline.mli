@@ -1,0 +1,57 @@
+(** Flow-level (fluid) simulation of pipelined backup streams.
+
+    A backup or restore run is a set of concurrent {e streams} (one per tape
+    drive), each a sequence of {e stages} ("mapping", "dumping files", ...).
+    A stage carries a demand vector: how many seconds of service it needs
+    from each resource (disk volume, CPU, its tape drive) if it ran alone,
+    plus how many payload bytes it moves through each.
+
+    Within a stage the real systems are pipelined (read-ahead keeps the
+    disks busy while the CPU formats records and the tape streams), so a
+    lone stage's elapsed time is the {e maximum} of its per-resource
+    demands, and concurrent streams share resources by max-min fairness
+    (progressive filling). This is exactly the structure the paper's
+    analysis uses: "the tape device is the bottleneck", "the bottleneck in
+    this case must be the disks".
+
+    The solver advances a simulated clock from stage completion to stage
+    completion, charging busy time to each {!Resource.t}, and reports
+    per-stage windows and per-stage resource usage for the Table 3/4/5
+    columns. *)
+
+type demand = { resource : Resource.t; work : float; bytes : int }
+(** [work] is seconds of service needed from [resource]; [bytes] is payload
+    volume attributed to the resource for MB/s reporting. *)
+
+val demand : ?bytes:int -> Resource.t -> float -> demand
+
+type stage = { label : string; demands : demand list }
+
+val stage : string -> demand list -> stage
+
+type stream = { stream_label : string; stages : stage list }
+
+type stage_summary = {
+  stage_label : string;
+  start : float;
+  finish : float;
+  busy : (string * float) list;
+      (** per-resource busy seconds accumulated during this stage, summed
+          over all streams running a stage with this label *)
+  stage_bytes : (string * int) list;
+}
+
+type report = { elapsed : float; stages : stage_summary list }
+
+val run : ?clock:Clock.t -> stream list -> report
+(** Simulate all streams to completion. Stage summaries are aggregated by
+    label (parallel streams running "dumping files" on four tapes produce a
+    single "dumping files" row, as in Tables 4 and 5) and listed in order of
+    first start. *)
+
+val stage_elapsed : stage_summary -> float
+val stage_utilization : stage_summary -> string -> float
+(** [stage_utilization s r] is busy seconds of resource [r] during [s]
+    divided by the stage window. *)
+
+val stage_rate_mb_s : stage_summary -> string -> float

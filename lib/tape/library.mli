@@ -1,0 +1,47 @@
+(** A tape stacker: a drive plus a magazine of cartridges with automatic
+    media change (Breece-Hill style, as on the paper's filer).
+
+    When a dump fills a cartridge, the stacker unloads it, loads the next
+    blank, and the backup stream continues; restore walks the cartridges in
+    the same order. *)
+
+type t
+
+val create : ?params:Tape.params -> ?slots:int -> label:string -> unit -> t
+(** [slots] blank cartridges in the magazine (default 8). *)
+
+val drive : t -> Tape.t
+val label : t -> string
+
+val load_next : t -> bool
+(** Unload the current cartridge (if any) to the "used" stack and load the
+    next one from the magazine; [false] if the magazine is empty. *)
+
+val rewind_to_start : t -> unit
+(** Reload the first written cartridge and rewind (for restore). Raises
+    [Invalid_argument] if nothing has been written. *)
+
+val advance_for_read : t -> bool
+(** During restore: move to the next used cartridge in sequence; [false]
+    when there are no more. *)
+
+val used_media : t -> Tape.media list
+(** Cartridges written so far, in order (including the loaded one). *)
+
+val media_change_seconds : float
+(** Fixed robot exchange time charged per media change (120 s, typical for
+    DLT stackers). *)
+
+val change_time_total : t -> float
+(** Accumulated robot time (for accounting; media changes overlap nothing). *)
+
+val blanks_remaining : t -> int
+
+val save : Repro_util.Serde.writer -> t -> unit
+(** Persist the stacker: drive parameters, written cartridges, and the
+    count of remaining blanks. *)
+
+val load : Repro_util.Serde.reader -> t
+(** Raises [Serde.Corrupt] on malformed input. The loaded stacker has no
+    cartridge in the drive; reading starts with {!rewind_to_start}, new
+    writes with {!load_next}. *)

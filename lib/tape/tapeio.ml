@@ -1,0 +1,102 @@
+let default_record_bytes = 64 * 1024
+
+type sink = {
+  lib : Library.t;
+  record_bytes : int;
+  buf : Buffer.t;
+  mutable written : int;
+}
+
+let sink ?(record_bytes = default_record_bytes) lib =
+  if record_bytes <= 0 then invalid_arg "Tapeio.sink";
+  (match Tape.loaded (Library.drive lib) with
+  | None -> if not (Library.load_next lib) then raise Tape.End_of_tape
+  | Some _ -> ());
+  { lib; record_bytes; buf = Buffer.create record_bytes; written = 0 }
+
+(* Write one physical record, changing cartridges on end-of-tape. *)
+let rec put_record t s =
+  try Tape.write_record (Library.drive t.lib) s
+  with Tape.End_of_tape ->
+    if Library.load_next t.lib then put_record t s else raise Tape.End_of_tape
+
+let flush_full t =
+  while Buffer.length t.buf >= t.record_bytes do
+    let all = Buffer.contents t.buf in
+    put_record t (String.sub all 0 t.record_bytes);
+    Buffer.clear t.buf;
+    Buffer.add_substring t.buf all t.record_bytes (String.length all - t.record_bytes)
+  done
+
+let output t s =
+  Buffer.add_string t.buf s;
+  t.written <- t.written + String.length s;
+  flush_full t
+
+let close_sink t =
+  if Buffer.length t.buf > 0 then begin
+    put_record t (Buffer.contents t.buf);
+    Buffer.clear t.buf
+  end;
+  Tape.write_filemark (Library.drive t.lib)
+
+let sink_bytes_written t = t.written
+
+type source = {
+  slib : Library.t;
+  mutable cur : string;
+  mutable pos : int;
+  mutable finished : bool;
+}
+
+let source ?record_bytes:_ ?(skip_streams = 0) lib =
+  Library.rewind_to_start lib;
+  (* Space past [skip_streams] filemarks, changing cartridges as needed. *)
+  let remaining = ref skip_streams in
+  while !remaining > 0 do
+    match Tape.read_record (Library.drive lib) with
+    | Tape.Filemark -> decr remaining
+    | Tape.Record _ -> ()
+    | Tape.End_of_data ->
+      if not (Library.advance_for_read lib) then raise End_of_file
+  done;
+  { slib = lib; cur = ""; pos = 0; finished = false }
+
+let rec refill t =
+  if not t.finished && t.pos >= String.length t.cur then begin
+    match Tape.read_record (Library.drive t.slib) with
+    | Tape.Record s ->
+      t.cur <- s;
+      t.pos <- 0
+    | Tape.Filemark -> t.finished <- true
+    | Tape.End_of_data ->
+      if Library.advance_for_read t.slib then refill t else t.finished <- true
+  end
+
+let input t n =
+  if n < 0 then invalid_arg "Tapeio.input";
+  let out = Bytes.create n in
+  let filled = ref 0 in
+  while !filled < n do
+    refill t;
+    if t.finished then raise End_of_file;
+    let avail = String.length t.cur - t.pos in
+    let take = Stdlib.min avail (n - !filled) in
+    Bytes.blit_string t.cur t.pos out !filled take;
+    t.pos <- t.pos + take;
+    filled := !filled + take
+  done;
+  Bytes.to_string out
+
+let input_all t =
+  let buf = Buffer.create 4096 in
+  let continue = ref true in
+  while !continue do
+    refill t;
+    if t.finished then continue := false
+    else begin
+      Buffer.add_substring buf t.cur t.pos (String.length t.cur - t.pos);
+      t.pos <- String.length t.cur
+    end
+  done;
+  Buffer.contents buf

@@ -1,0 +1,41 @@
+(** Buffered byte streams over a tape stacker.
+
+    Both backup formats are byte streams; this layer blocks them into
+    fixed-size tape records (the classic dump "blocking factor") and spans
+    cartridges transparently: when the drive hits end-of-tape the stacker
+    loads the next blank and the stream continues. *)
+
+val default_record_bytes : int
+(** 64 KiB. *)
+
+(** {1 Writing} *)
+
+type sink
+
+val sink : ?record_bytes:int -> Library.t -> sink
+(** Loads the first cartridge if the drive is empty. Raises
+    [Tape.End_of_tape] only when the whole magazine is exhausted. *)
+
+val output : sink -> string -> unit
+val close_sink : sink -> unit
+(** Flush the final partial record and write a filemark: the end-of-stream
+    marker a reader stops at. *)
+
+val sink_bytes_written : sink -> int
+
+(** {1 Reading} *)
+
+type source
+
+val source : ?record_bytes:int -> ?skip_streams:int -> Library.t -> source
+(** Rewinds the stacker to the first written cartridge. [skip_streams]
+    fast-forwards past that many filemark-terminated streams (spanning
+    cartridges), so several backups stacked on one magazine are each
+    addressable. Raises [End_of_file] if fewer streams exist. *)
+
+val input : source -> int -> string
+(** [input src n] reads exactly [n] bytes. Raises [End_of_file] if the
+    stream (filemark or end of last cartridge) ends first. *)
+
+val input_all : source -> string
+(** Everything up to the end of the stream. *)

@@ -1,0 +1,28 @@
+type t = int
+
+let table =
+  let t = Array.make 256 0 in
+  for n = 0 to 255 do
+    let c = ref n in
+    for _ = 0 to 7 do
+      if !c land 1 <> 0 then c := 0xedb88320 lxor (!c lsr 1) else c := !c lsr 1
+    done;
+    t.(n) <- !c
+  done;
+  t
+
+let init = 0xffffffff
+
+let update_substring crc s pos len =
+  if pos < 0 || len < 0 || pos + len > String.length s then
+    invalid_arg "Crc32.update_substring";
+  let c = ref crc in
+  for i = pos to pos + len - 1 do
+    c := table.((!c lxor Char.code s.[i]) land 0xff) lxor (!c lsr 8)
+  done;
+  !c
+
+let update_string crc s = update_substring crc s 0 (String.length s)
+let finish crc = crc lxor 0xffffffff
+let string s = finish (update_string init s)
+let substring s pos len = finish (update_substring init s pos len)

@@ -1,0 +1,19 @@
+(** Mutable binary min-heap, ordered by a user comparison.
+
+    Used as the event queue of the discrete-event simulator; ties are broken
+    by insertion order so simulation runs are deterministic. *)
+
+type 'a t
+
+val create : cmp:('a -> 'a -> int) -> 'a t
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+val push : 'a t -> 'a -> unit
+val peek : 'a t -> 'a option
+val pop : 'a t -> 'a option
+val pop_exn : 'a t -> 'a
+(** Raises [Invalid_argument] on an empty heap. *)
+
+val clear : 'a t -> unit
+val to_list : 'a t -> 'a list
+(** Elements in arbitrary order. *)

@@ -1,0 +1,34 @@
+(** A bounded LRU map with eviction callbacks.
+
+    The WAFL buffer cache is an LRU of 4 KB blocks; evicting a dirty block
+    must write it back, which the [on_evict] hook supports. *)
+
+module Make (K : Hashtbl.HashedType) : sig
+  type key = K.t
+  type 'v t
+
+  val create : capacity:int -> 'v t
+  (** Raises [Invalid_argument] if [capacity <= 0]. *)
+
+  val capacity : 'v t -> int
+  val length : 'v t -> int
+  val mem : 'v t -> key -> bool
+
+  val find : 'v t -> key -> 'v option
+  (** [find] promotes the entry to most-recently-used. *)
+
+  val peek : 'v t -> key -> 'v option
+  (** [peek] does not change recency. *)
+
+  val add : ?on_evict:(key -> 'v -> unit) -> 'v t -> key -> 'v -> unit
+  (** Insert or replace; evicts the least-recently-used entry if over
+      capacity, calling [on_evict] on the victim. *)
+
+  val remove : 'v t -> key -> unit
+
+  val iter : (key -> 'v -> unit) -> 'v t -> unit
+  (** Iterates from most- to least-recently-used. *)
+
+  val fold : (key -> 'v -> 'a -> 'a) -> 'v t -> 'a -> 'a
+  val clear : 'v t -> unit
+end

@@ -1,0 +1,89 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9e3779b97f4a7c15L
+
+let mix64 z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xbf58476d1ce4e5b9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94d049bb133111ebL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let create seed = { state = mix64 (Int64.of_int seed) }
+
+let int64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  mix64 t.state
+
+let split t = { state = int64 t }
+
+(* 61 random bits: the range [0, 2^61) is comfortably representable in
+   OCaml's 63-bit native int, including as an exclusive bound. *)
+let bit_range = 1 lsl 61
+let bits t = Int64.to_int (Int64.shift_right_logical (int64 t) 3)
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Prng.int";
+  (* Rejection sampling to avoid modulo bias. *)
+  let limit = bit_range - (bit_range mod bound) in
+  let rec draw () =
+    let v = bits t in
+    if v >= limit then draw () else v mod bound
+  in
+  draw ()
+
+let int_in t lo hi =
+  if hi < lo then invalid_arg "Prng.int_in";
+  lo + int t (hi - lo + 1)
+
+let float t bound = bound *. (Float.of_int (bits t) /. Float.of_int bit_range)
+let bool t = Int64.logand (int64 t) 1L = 1L
+
+let choose t a =
+  if Array.length a = 0 then invalid_arg "Prng.choose";
+  a.(int t (Array.length a))
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let uniform_open t =
+  (* Uniform in (0, 1): never returns 0, safe as a log argument. *)
+  (Float.of_int (bits t) +. 1.0) /. (Float.of_int bit_range +. 2.0)
+
+let exponential t ~mean = -.mean *. Float.log (uniform_open t)
+
+let lognormal t ~mu ~sigma =
+  let u1 = uniform_open t and u2 = uniform_open t in
+  let z = Float.sqrt (-2.0 *. Float.log u1) *. Float.cos (2.0 *. Float.pi *. u2) in
+  Float.exp (mu +. (sigma *. z))
+
+let build_zipf_cdf ~n ~s =
+  if n <= 0 then invalid_arg "Prng.zipf";
+  let cdf = Array.make n 0.0 in
+  let total = ref 0.0 in
+  for k = 1 to n do
+    total := !total +. (1.0 /. (Float.of_int k ** s));
+    cdf.(k - 1) <- !total
+  done;
+  let total = !total in
+  Array.map (fun x -> x /. total) cdf
+
+let sample_cdf cdf t =
+  let u = uniform_open t in
+  (* Binary search for the first index with cdf >= u. *)
+  let rec search lo hi =
+    if lo >= hi then lo + 1
+    else
+      let mid = (lo + hi) / 2 in
+      if cdf.(mid) >= u then search lo mid else search (mid + 1) hi
+  in
+  search 0 (Array.length cdf - 1)
+
+let zipf_table ~n ~s =
+  let cdf = build_zipf_cdf ~n ~s in
+  fun t -> sample_cdf cdf t
+
+let zipf t ~n ~s = sample_cdf (build_zipf_cdf ~n ~s) t

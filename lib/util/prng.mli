@@ -1,0 +1,45 @@
+(** Deterministic pseudo-random numbers (splitmix64).
+
+    Every experiment in the reproduction is seeded, so workload generation,
+    aging, and failure injection are exactly repeatable. *)
+
+type t
+
+val create : int -> t
+(** [create seed] makes an independent generator. *)
+
+val split : t -> t
+(** A new generator whose stream is independent of further draws from the
+    parent. *)
+
+val int64 : t -> int64
+val bits : t -> int
+(** 61 uniformly random non-negative bits. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [0, bound). Raises [Invalid_argument] if
+    [bound <= 0]. *)
+
+val int_in : t -> int -> int -> int
+(** [int_in t lo hi] is uniform in [lo, hi] inclusive. *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform in [0, bound). *)
+
+val bool : t -> bool
+val choose : t -> 'a array -> 'a
+val shuffle : t -> 'a array -> unit
+
+(** {1 Distributions} *)
+
+val exponential : t -> mean:float -> float
+val lognormal : t -> mu:float -> sigma:float -> float
+(** Log-normal via Box–Muller; the classic model for file sizes. *)
+
+val zipf : t -> n:int -> s:float -> int
+(** Zipf-distributed rank in [1, n] with exponent [s], via inverse-CDF on a
+    precomputed table (the table is rebuilt per call only for small [n];
+    prefer {!zipf_table} for hot loops). *)
+
+val zipf_table : n:int -> s:float -> t -> int
+(** [zipf_table ~n ~s] precomputes the CDF once and returns a sampler. *)

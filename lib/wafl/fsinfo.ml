@@ -1,0 +1,103 @@
+type snap_entry = {
+  snap_id : int;
+  plane : int;
+  snap_name : string;
+  created : float;
+  snap_root : Inode.t;
+}
+
+type t = {
+  generation : int;
+  cp_time : float;
+  volume_blocks : int;
+  max_inodes : int;
+  next_snap_id : int;
+  next_qtree : int;
+  qtree_limits : (int * int) list;
+  root : Inode.t;
+  snaps : snap_entry list;
+}
+
+let encode t =
+  let open Repro_util.Serde in
+  let w = writer ~initial_size:4096 () in
+  write_fixed w Layout.fsinfo_magic;
+  write_u64 w (Int64.of_int t.generation);
+  write_u64 w (Int64.bits_of_float t.cp_time);
+  write_u32 w t.volume_blocks;
+  write_u32 w t.max_inodes;
+  write_u32 w t.next_snap_id;
+  write_u32 w t.next_qtree;
+  write_u16 w (List.length t.qtree_limits);
+  List.iter
+    (fun (qid, limit) ->
+      write_u16 w qid;
+      write_u64 w (Int64.of_int limit))
+    t.qtree_limits;
+  Inode.write w t.root;
+  write_u8 w (List.length t.snaps);
+  List.iter
+    (fun s ->
+      write_u32 w s.snap_id;
+      write_u8 w s.plane;
+      write_string w s.snap_name;
+      write_u64 w (Int64.bits_of_float s.created);
+      Inode.write w s.snap_root)
+    t.snaps;
+  let body = contents w in
+  if String.length body + 4 > 4096 then invalid_arg "Fsinfo.encode: overflow";
+  let b = Bytes.make 4096 '\000' in
+  Bytes.blit_string body 0 b 0 (String.length body);
+  (* CRC over the zero-padded body, stored in the last 4 bytes. *)
+  let crc = Repro_util.Crc32.substring (Bytes.unsafe_to_string b) 0 4092 in
+  Bytes.set_int32_le b 4092 (Int32.of_int crc);
+  b
+
+let decode b =
+  if Bytes.length b <> 4096 then None
+  else
+    let stored = Int32.to_int (Bytes.get_int32_le b 4092) land 0xffffffff in
+    let crc = Repro_util.Crc32.substring (Bytes.unsafe_to_string b) 0 4092 in
+    if stored <> crc then None
+    else
+      let open Repro_util.Serde in
+      try
+        let r = reader (Bytes.unsafe_to_string b) in
+        expect_magic r Layout.fsinfo_magic;
+        let generation = Int64.to_int (read_u64 r) in
+        let cp_time = Int64.float_of_bits (read_u64 r) in
+        let volume_blocks = read_u32 r in
+        let max_inodes = read_u32 r in
+        let next_snap_id = read_u32 r in
+        let next_qtree = read_u32 r in
+        let nlimits = read_u16 r in
+        let qtree_limits =
+          List.init nlimits (fun _ ->
+              let qid = read_u16 r in
+              let limit = Int64.to_int (read_u64 r) in
+              (qid, limit))
+        in
+        let root = Inode.read r in
+        let nsnaps = read_u8 r in
+        let snaps =
+          List.init nsnaps (fun _ ->
+              let snap_id = read_u32 r in
+              let plane = read_u8 r in
+              let snap_name = read_string r in
+              let created = Int64.float_of_bits (read_u64 r) in
+              let snap_root = Inode.read r in
+              { snap_id; plane; snap_name; created; snap_root })
+        in
+        Some
+          {
+            generation;
+            cp_time;
+            volume_blocks;
+            max_inodes;
+            next_snap_id;
+            next_qtree;
+            qtree_limits;
+            root;
+            snaps;
+          }
+      with Corrupt _ -> None

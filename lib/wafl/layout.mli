@@ -1,0 +1,46 @@
+(** On-disk layout constants for the WAFL-style file system.
+
+    The only fixed-location structure is the fsinfo block describing the
+    inode file, "written redundantly" (paper §2): copies live at vbn 0 and
+    vbn 1. Every other block — data, directories, inodes, the block map
+    itself — is written anywhere by the consistency-point allocator. *)
+
+val fsinfo_vbn_primary : int (* 0 *)
+val fsinfo_vbn_backup : int (* 1 *)
+
+val inode_size : int
+(** 256 bytes; 16 inodes per 4 KB block. *)
+
+val inodes_per_block : int
+
+val ndirect : int
+(** Direct block pointers per inode (16 ⇒ 64 KB of direct data). *)
+
+val ptrs_per_block : int
+(** Pointers per indirect block (1024). *)
+
+val max_file_blocks : int
+(** [ndirect + ptrs_per_block + ptrs_per_block²]. *)
+
+val no_block : int
+(** The hole / unallocated pointer sentinel (0; vbn 0 is the fsinfo block,
+    so no file block can legitimately live there). *)
+
+val nplanes : int
+(** Bit planes in the block map: 1 for the active file system + up to 31
+    snapshots. The paper's WAFL uses 32 bits per block. *)
+
+val max_snapshots : int
+(** 20, as in the paper. *)
+
+(** {1 Well-known inode numbers} *)
+
+val root_ino : int
+(** 2 — "inode #2 is the root" (paper §3). *)
+
+val blockmap_ino : int (* 3 *)
+val first_user_ino : int (* 8 *)
+
+val fsinfo_magic : string
+val max_name_len : int
+val max_snapname_len : int

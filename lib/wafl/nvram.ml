@@ -1,0 +1,72 @@
+type op =
+  | Create_file of { path : string; perms : int }
+  | Mkdir of { path : string; perms : int }
+  | Write of { path : string; offset : int; data : string }
+  | Truncate of { path : string; size : int }
+  | Unlink of { path : string }
+  | Rmdir of { path : string }
+  | Rename of { src : string; dst : string }
+  | Link of { existing : string; path : string }
+  | Symlink of { target : string; path : string }
+  | Set_xattr of { path : string; name : string; value : string }
+  | Remove_xattr of { path : string; name : string }
+  | Set_dos_flags of { path : string; flags : int }
+  | Set_perms of { path : string; perms : int }
+  | Set_owner of { path : string; uid : int; gid : int }
+  | Set_qtree of { path : string; qtree : int }
+  | Set_qtree_limit of { path : string; limit : int }
+
+type t = {
+  capacity : int;
+  mutable used : int;
+  mutable entries : (int * op) list; (* newest first *)
+}
+
+let create ?(capacity_bytes = 32 * 1024 * 1024) () =
+  if capacity_bytes <= 0 then invalid_arg "Nvram.create";
+  { capacity = capacity_bytes; used = 0; entries = [] }
+
+let capacity_bytes t = t.capacity
+let used_bytes t = t.used
+
+(* Fixed per-entry overhead (tag, opcode, framing) plus payload. *)
+let op_size op =
+  let base = 16 in
+  base
+  +
+  match op with
+  | Create_file { path; _ } | Mkdir { path; _ } -> String.length path + 4
+  | Write { path; data; _ } -> String.length path + String.length data + 12
+  | Truncate { path; _ } -> String.length path + 8
+  | Unlink { path } | Rmdir { path } -> String.length path
+  | Rename { src; dst } -> String.length src + String.length dst
+  | Link { existing; path } -> String.length existing + String.length path
+  | Symlink { target; path } -> String.length target + String.length path
+  | Set_xattr { path; name; value } ->
+    String.length path + String.length name + String.length value
+  | Remove_xattr { path; name } -> String.length path + String.length name
+  | Set_dos_flags { path; _ }
+  | Set_owner { path; _ }
+  | Set_perms { path; _ }
+  | Set_qtree { path; _ }
+  | Set_qtree_limit { path; _ } ->
+    String.length path + 4
+
+let append t ~tag op =
+  let sz = op_size op in
+  if t.used + sz > t.capacity then false
+  else begin
+    t.entries <- (tag, op) :: t.entries;
+    t.used <- t.used + sz;
+    true
+  end
+
+let entries_tagged t ~tag =
+  List.rev
+    (List.filter_map (fun (g, op) -> if g = tag then Some op else None) t.entries)
+
+let clear t =
+  t.entries <- [];
+  t.used <- 0
+
+let fail = clear

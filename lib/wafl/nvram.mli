@@ -1,0 +1,53 @@
+(** The NVRAM operation log.
+
+    WAFL "uses NVRAM only to store recent NFS operations" — a log of
+    requests not yet committed by a consistency point, replayed at mount
+    after a crash (paper §2.2). It is emphatically {e not} a disk cache:
+    losing NVRAM contents leaves the file system self-consistent at its
+    last consistency point; only the logged operations are lost.
+
+    Entries are tagged with the consistency-point generation current when
+    they were logged; a mount of generation [g] replays exactly the entries
+    tagged [g]. A full log forces the file system to take a consistency
+    point (as the real filer does). *)
+
+type op =
+  | Create_file of { path : string; perms : int }
+  | Mkdir of { path : string; perms : int }
+  | Write of { path : string; offset : int; data : string }
+  | Truncate of { path : string; size : int }
+  | Unlink of { path : string }
+  | Rmdir of { path : string }
+  | Rename of { src : string; dst : string }
+  | Link of { existing : string; path : string }
+  | Symlink of { target : string; path : string }
+  | Set_xattr of { path : string; name : string; value : string }
+  | Remove_xattr of { path : string; name : string }
+  | Set_dos_flags of { path : string; flags : int }
+  | Set_perms of { path : string; perms : int }
+  | Set_owner of { path : string; uid : int; gid : int }
+  | Set_qtree of { path : string; qtree : int }
+  | Set_qtree_limit of { path : string; limit : int }  (** -1 = no limit *)
+
+type t
+
+val create : ?capacity_bytes:int -> unit -> t
+(** Default capacity 32 MB, as on the paper's F630. *)
+
+val capacity_bytes : t -> int
+val used_bytes : t -> int
+
+val append : t -> tag:int -> op -> bool
+(** [false] if the entry does not fit: the caller must take a consistency
+    point (which clears the log) and retry. *)
+
+val entries_tagged : t -> tag:int -> op list
+val clear : t -> unit
+(** After a successful consistency point, or on a clean shutdown. *)
+
+val fail : t -> unit
+(** Hardware failure: contents lost. Subsequent mounts replay nothing; the
+    file system stays self-consistent (the property §2.2 argues for). *)
+
+val op_size : op -> int
+(** Serialized size, for capacity accounting. *)

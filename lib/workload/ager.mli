@@ -1,0 +1,39 @@
+(** File-system aging.
+
+    "A mature data set is typically slower to backup than a newly created
+    one because of fragmentation: the blocks of a newly created file are
+    less likely to be contiguously allocated in a mature file system where
+    the free space is scattered throughout the disks" (paper §5.1,
+    footnote 1). The ager reproduces that state honestly: rounds of
+    deletes, creates, overwrites, appends and renames with consistency
+    points in between, so the write-anywhere allocator scatters live data
+    exactly the way years of use would. *)
+
+type churn = {
+  seed : int;
+  rounds : int;  (** each round touches a batch of files then takes a CP *)
+  batch : int;  (** operations per round *)
+  delete_weight : int;
+  create_weight : int;
+  overwrite_weight : int;
+  append_weight : int;
+  rename_weight : int;
+}
+
+val default_churn : churn
+(** 20 rounds of 50 operations, weights 3/3/2/1/1. *)
+
+type stats = {
+  deletes : int;
+  creates : int;
+  overwrites : int;
+  appends : int;
+  renames : int;
+}
+
+val age : ?churn:churn -> fs:Repro_wafl.Fs.t -> root:string -> unit -> stats
+
+val fragmentation : Repro_wafl.Fs.t -> string -> float
+(** Fraction of logically-consecutive file block pairs that are {e not}
+    physically consecutive on the volume, averaged over all files under
+    the root: 0 = perfectly laid out, 1 = fully scattered. *)

@@ -1,0 +1,92 @@
+module Fs = Repro_wafl.Fs
+module Inode = Repro_wafl.Inode
+
+let chunk = 64 * 1024
+
+let trees ?(check_times = false) ~src:(sfs, sroot) ~dst:(dfs, droot) () =
+  let diffs = ref [] in
+  let count = ref 0 in
+  let note fmt =
+    Printf.ksprintf
+      (fun s ->
+        incr count;
+        if !count <= 50 then diffs := s :: !diffs)
+      fmt
+  in
+  let join base name = if base = "/" then "/" ^ name else base ^ "/" ^ name in
+  (* Hard-link identity: paths sharing an inode in the source must share
+     one in the destination. *)
+  let src_seen : (int, string * int) Hashtbl.t = Hashtbl.create 32 in
+  let check_links srel drel rel =
+    match (Fs.lookup sfs srel, Fs.lookup dfs drel) with
+    | Some sino, Some dino -> (
+      match Hashtbl.find_opt src_seen sino with
+      | Some (first_rel, first_dino) ->
+        if dino <> first_dino then
+          note "%s: should be a hard link of %s but is a separate file" rel first_rel
+      | None -> Hashtbl.replace src_seen sino (rel, dino))
+    | _ -> ()
+  in
+  let rec walk srel drel rel =
+    let sattr = Fs.getattr sfs srel in
+    let dattr = Fs.getattr dfs drel in
+    if sattr.Inode.kind <> dattr.Inode.kind then note "%s: kind differs" rel
+    else begin
+      if sattr.Inode.perms <> dattr.Inode.perms then
+        note "%s: perms %o vs %o" rel sattr.Inode.perms dattr.Inode.perms;
+      if sattr.Inode.uid <> dattr.Inode.uid || sattr.Inode.gid <> dattr.Inode.gid then
+        note "%s: owner %d:%d vs %d:%d" rel sattr.Inode.uid sattr.Inode.gid
+          dattr.Inode.uid dattr.Inode.gid;
+      if sattr.Inode.dos_flags <> dattr.Inode.dos_flags then
+        note "%s: dos flags %x vs %x" rel sattr.Inode.dos_flags dattr.Inode.dos_flags;
+      if check_times && not (Float.equal sattr.Inode.mtime dattr.Inode.mtime) then
+        note "%s: mtime %g vs %g" rel sattr.Inode.mtime dattr.Inode.mtime;
+      let sx = List.sort compare (Fs.xattrs sfs srel) in
+      let dx = List.sort compare (Fs.xattrs dfs drel) in
+      if sx <> dx then note "%s: xattrs differ" rel;
+      match sattr.Inode.kind with
+      | Inode.Regular ->
+        check_links srel drel rel;
+        if sattr.Inode.size <> dattr.Inode.size then
+          note "%s: size %d vs %d" rel sattr.Inode.size dattr.Inode.size
+        else begin
+          let size = sattr.Inode.size in
+          let pos = ref 0 in
+          let equal = ref true in
+          while !equal && !pos < size do
+            let len = Stdlib.min chunk (size - !pos) in
+            let a = Fs.read sfs srel ~offset:!pos ~len in
+            let b = Fs.read dfs drel ~offset:!pos ~len in
+            if not (String.equal a b) then begin
+              equal := false;
+              note "%s: content differs near offset %d" rel !pos
+            end;
+            pos := !pos + len
+          done
+        end
+      | Inode.Symlink ->
+        if not (String.equal (Fs.readlink sfs srel) (Fs.readlink dfs drel)) then
+          note "%s: symlink target differs" rel
+      | Inode.Directory ->
+        let snames = List.sort compare (List.map fst (Fs.readdir sfs srel)) in
+        let dnames = List.sort compare (List.map fst (Fs.readdir dfs drel)) in
+        List.iter
+          (fun n -> if not (List.mem n dnames) then note "%s: missing %s" rel n)
+          snames;
+        List.iter
+          (fun n -> if not (List.mem n snames) then note "%s: extra %s" rel n)
+          dnames;
+        List.iter
+          (fun n ->
+            if List.mem n dnames then walk (join srel n) (join drel n) (join rel n))
+          snames
+      | Inode.Free -> note "%s: free inode" rel
+    end
+  in
+  walk sroot droot "/";
+  match !diffs with
+  | [] -> Ok ()
+  | l ->
+    let l = List.rev l in
+    let l = if !count > 50 then l @ [ Printf.sprintf "... and %d more" (!count - 50) ] else l in
+    Error l

@@ -1,0 +1,14 @@
+(** Deep tree comparison: the oracle for backup/restore round-trip tests.
+
+    Two trees are equal when they agree on structure (names, kinds), file
+    sizes and contents, permissions, DOS flags, quota-tree membership is
+    ignored (restore does not carry it), and extended attributes.
+    Modification times are compared only when [check_times] is set. *)
+
+val trees :
+  ?check_times:bool ->
+  src:Repro_wafl.Fs.t * string ->
+  dst:Repro_wafl.Fs.t * string ->
+  unit ->
+  (unit, string list) result
+(** [Ok ()] or the list of differences (capped at 50). *)

@@ -1,0 +1,265 @@
+(* Tests for the block substrate: disk service model, RAID-4 parity and
+   reconstruction, volume addressing and full-stripe batching. *)
+
+module Block = Repro_block.Block
+module Disk = Repro_block.Disk
+module Raid = Repro_block.Raid
+module Volume = Repro_block.Volume
+module Prng = Repro_util.Prng
+
+let checki = Alcotest.(check int)
+let checkb = Alcotest.(check bool)
+
+let block_of_char c = Bytes.make Block.size c
+
+let test_block_helpers () =
+  checkb "zero is zero" true (Block.is_zero (Block.zero ()));
+  checkb "nonzero detected" false (Block.is_zero (block_of_char 'x'));
+  checki "blocks_for 1" 1 (Block.blocks_for 1);
+  checki "blocks_for 4096" 1 (Block.blocks_for 4096);
+  checki "blocks_for 4097" 2 (Block.blocks_for 4097);
+  checki "blocks_for 0" 0 (Block.blocks_for 0);
+  try
+    Block.check (Bytes.create 100);
+    Alcotest.fail "wrong size should raise"
+  with Invalid_argument _ -> ()
+
+let test_disk_read_write () =
+  let d = Disk.create ~label:"d0" (Disk.default_params ~blocks:64) in
+  let b = block_of_char 'a' in
+  Disk.write d 7 b;
+  Alcotest.(check bytes) "read back" b (Disk.read d 7);
+  checkb "unwritten reads zero" true (Block.is_zero (Disk.read d 8));
+  (* returned buffer is a copy: mutating it must not corrupt the disk *)
+  let r = Disk.read d 7 in
+  Bytes.set r 0 'Z';
+  Alcotest.(check bytes) "isolation" b (Disk.read d 7)
+
+let test_disk_service_model () =
+  let d = Disk.create ~label:"d0" (Disk.default_params ~blocks:4096) in
+  (* sequential reads: one seek then streaming *)
+  for i = 0 to 99 do
+    ignore (Disk.read d i)
+  done;
+  let seq_busy = Disk.busy_seconds d in
+  checki "one seek" 1 (Disk.seeks d);
+  Disk.reset_stats d;
+  (* far random reads: a seek each *)
+  let rng = Prng.create 1 in
+  for _ = 0 to 99 do
+    ignore (Disk.read d (Prng.int rng 4096))
+  done;
+  let rand_busy = Disk.busy_seconds d in
+  checkb
+    (Printf.sprintf "random much slower (%.4f vs %.4f)" rand_busy seq_busy)
+    true
+    (rand_busy > 5.0 *. seq_busy)
+
+let test_disk_failure () =
+  let d = Disk.create ~label:"d0" (Disk.default_params ~blocks:16) in
+  Disk.write d 0 (block_of_char 'x');
+  Disk.fail d;
+  (try
+     ignore (Disk.read d 0);
+     Alcotest.fail "failed disk should raise"
+   with Disk.Disk_failed _ -> ());
+  Disk.revive d;
+  checkb "revived disk is blank" true (Block.is_zero (Disk.read d 0))
+
+let make_raid () =
+  Raid.create ~label:"rg" ~ndisks:5 ~blocks_per_disk:32 (Disk.default_params ~blocks:32)
+
+let test_raid_addressing () =
+  let r = make_raid () in
+  checki "data disks" 4 (Raid.data_disks r);
+  checki "data blocks" 128 (Raid.data_blocks r);
+  Alcotest.(check (pair int int)) "gbn 0" (0, 0) (Raid.stripe_of_gbn r 0);
+  Alcotest.(check (pair int int)) "gbn 5" (1, 1) (Raid.stripe_of_gbn r 5)
+
+let test_raid_parity_and_reconstruction () =
+  let r = make_raid () in
+  let rng = Prng.create 2 in
+  (* scatter writes *)
+  for _ = 1 to 60 do
+    let gbn = Prng.int rng (Raid.data_blocks r) in
+    let b = Block.zero () in
+    for i = 0 to 255 do
+      Bytes.set b i (Char.chr (Prng.int rng 256))
+    done;
+    Raid.write r gbn b
+  done;
+  checkb "parity consistent after writes" true (Raid.parity_consistent r);
+  (* capture, fail a data disk, verify reads reconstruct *)
+  let expect = Array.init (Raid.data_blocks r) (fun gbn -> Raid.read r gbn) in
+  Raid.fail_disk r 1;
+  Array.iteri
+    (fun gbn b -> Alcotest.(check bytes) (Printf.sprintf "gbn %d degraded" gbn) b (Raid.read r gbn))
+    expect;
+  (* writes in degraded mode still correct *)
+  let nb = block_of_char 'N' in
+  Raid.write r 1 nb (* gbn 1 lives on the failed disk *);
+  Alcotest.(check bytes) "degraded write" nb (Raid.read r 1);
+  (* rebuild onto replacement *)
+  Raid.rebuild_disk r 1;
+  checkb "parity consistent after rebuild" true (Raid.parity_consistent r);
+  Alcotest.(check bytes) "content after rebuild" nb (Raid.read r 1)
+
+let test_raid_write_stripe () =
+  let r = make_raid () in
+  let data = Array.init (Raid.data_disks r) (fun i -> block_of_char (Char.chr (65 + i))) in
+  Raid.write_stripe r 3 data;
+  checkb "parity consistent" true (Raid.parity_consistent r);
+  Array.iteri
+    (fun i b ->
+      Alcotest.(check bytes)
+        (Printf.sprintf "disk %d" i)
+        b
+        (Raid.read r ((3 * Raid.data_disks r) + i)))
+    data
+
+let test_raid_stripe_write_cheaper () =
+  (* Full-stripe writes must beat read-modify-write: the reason
+     write-anywhere allocation exists. *)
+  let a = make_raid () in
+  let b = make_raid () in
+  let width = Raid.data_disks a in
+  let data = Array.init width (fun i -> block_of_char (Char.chr (65 + i))) in
+  for s = 0 to 7 do
+    Raid.write_stripe a s data
+  done;
+  let stripe_busy =
+    Array.fold_left (fun acc d -> acc +. Disk.busy_seconds d) 0.0 (Raid.disks a)
+  in
+  for s = 0 to 7 do
+    for i = 0 to width - 1 do
+      Raid.write b ((s * width) + i) data.(i)
+    done
+  done;
+  let rmw_busy =
+    Array.fold_left (fun acc d -> acc +. Disk.busy_seconds d) 0.0 (Raid.disks b)
+  in
+  checkb
+    (Printf.sprintf "stripe %.4fs < rmw %.4fs" stripe_busy rmw_busy)
+    true
+    (stripe_busy *. 1.5 < rmw_busy)
+
+let test_raid_double_failure () =
+  let r = make_raid () in
+  Raid.fail_disk r 0;
+  Raid.fail_disk r 2;
+  try
+    ignore (Raid.read r 0);
+    Alcotest.fail "double failure should raise"
+  with Disk.Disk_failed _ -> ()
+
+let test_volume_flat_space () =
+  let v =
+    Volume.create ~label:"v"
+      (Volume.geometry ~groups:2 ~disks_per_group:4 ~blocks_per_disk:16 ())
+  in
+  checki "size" (2 * 3 * 16) (Volume.size_blocks v);
+  (* write across the group boundary *)
+  let last_of_g0 = (3 * 16) - 1 in
+  Volume.write v last_of_g0 (block_of_char 'x');
+  Volume.write v (last_of_g0 + 1) (block_of_char 'y');
+  Alcotest.(check bytes) "g0" (block_of_char 'x') (Volume.read v last_of_g0);
+  Alcotest.(check bytes) "g1" (block_of_char 'y') (Volume.read v (last_of_g0 + 1));
+  checkb "parity ok" true (Volume.parity_consistent v);
+  try
+    ignore (Volume.read v (Volume.size_blocks v));
+    Alcotest.fail "oob should raise"
+  with Invalid_argument _ -> ()
+
+let test_volume_write_batch () =
+  let v =
+    Volume.create ~label:"v"
+      (Volume.geometry ~groups:1 ~disks_per_group:5 ~blocks_per_disk:64 ())
+  in
+  let rng = Prng.create 9 in
+  let blocks =
+    List.init 100 (fun i ->
+        let b = Block.zero () in
+        Bytes.set b 0 (Char.chr (Prng.int rng 256));
+        Bytes.set b 1 (Char.chr (i mod 256));
+        (i + 3, b))
+  in
+  Volume.write_batch v blocks;
+  List.iter
+    (fun (vbn, b) ->
+      Alcotest.(check bytes) (Printf.sprintf "vbn %d" vbn) b (Volume.read v vbn))
+    blocks;
+  checkb "parity consistent after batch" true (Volume.parity_consistent v)
+
+let test_volume_read_extent () =
+  let v = Volume.create ~label:"v" (Volume.small_geometry ~data_blocks:128) in
+  Volume.write v 10 (block_of_char 'a');
+  Volume.write v 11 (block_of_char 'b');
+  let ext = Volume.read_extent v 10 2 in
+  Alcotest.(check char) "first" 'a' (Bytes.get ext 0);
+  Alcotest.(check char) "second" 'b' (Bytes.get ext Block.size)
+
+let test_volume_rebuild () =
+  let v = Volume.create ~label:"v" (Volume.small_geometry ~data_blocks:256) in
+  let rng = Prng.create 4 in
+  for vbn = 0 to 255 do
+    let b = Block.zero () in
+    Bytes.set_int64_le b 0 (Prng.int64 rng);
+    Volume.write v vbn b
+  done;
+  let before = Array.init 256 (fun vbn -> Volume.read v vbn) in
+  Volume.fail_disk v ~group:0 ~disk:2;
+  Array.iteri
+    (fun vbn b -> Alcotest.(check bytes) (Printf.sprintf "degraded %d" vbn) b (Volume.read v vbn))
+    before;
+  Volume.rebuild_disk v ~group:0 ~disk:2;
+  checkb "parity ok after rebuild" true (Volume.parity_consistent v);
+  Array.iteri
+    (fun vbn b -> Alcotest.(check bytes) (Printf.sprintf "rebuilt %d" vbn) b (Volume.read v vbn))
+    before
+
+let prop_volume_batch_equals_singles =
+  QCheck2.Test.make ~name:"volume: write_batch equals individual writes"
+    QCheck2.Gen.(list_size (int_range 1 60) (pair (int_bound 127) (char_range 'a' 'z')))
+    (fun writes ->
+      (* last write to each vbn wins in both schemes; dedup keeps it simple *)
+      let dedup = Hashtbl.create 16 in
+      List.iter (fun (vbn, c) -> Hashtbl.replace dedup vbn c) writes;
+      let writes = Hashtbl.fold (fun v c acc -> (v, c) :: acc) dedup [] in
+      let v1 = Volume.create ~label:"a" (Volume.small_geometry ~data_blocks:128) in
+      let v2 = Volume.create ~label:"b" (Volume.small_geometry ~data_blocks:128) in
+      Volume.write_batch v1 (List.map (fun (vbn, c) -> (vbn, block_of_char c)) writes);
+      List.iter (fun (vbn, c) -> Volume.write v2 vbn (block_of_char c)) writes;
+      List.for_all (fun (vbn, _) -> Bytes.equal (Volume.read v1 vbn) (Volume.read v2 vbn)) writes
+      && Volume.parity_consistent v1)
+
+let () =
+  Alcotest.run "block"
+    [
+      ( "block",
+        [ Alcotest.test_case "helpers" `Quick test_block_helpers ] );
+      ( "disk",
+        [
+          Alcotest.test_case "read/write" `Quick test_disk_read_write;
+          Alcotest.test_case "seek model" `Quick test_disk_service_model;
+          Alcotest.test_case "failure and revive" `Quick test_disk_failure;
+        ] );
+      ( "raid4",
+        [
+          Alcotest.test_case "addressing" `Quick test_raid_addressing;
+          Alcotest.test_case "parity and reconstruction" `Quick
+            test_raid_parity_and_reconstruction;
+          Alcotest.test_case "write_stripe" `Quick test_raid_write_stripe;
+          Alcotest.test_case "stripe writes cheaper than RMW" `Quick
+            test_raid_stripe_write_cheaper;
+          Alcotest.test_case "double failure raises" `Quick test_raid_double_failure;
+        ] );
+      ( "volume",
+        [
+          Alcotest.test_case "flat address space" `Quick test_volume_flat_space;
+          Alcotest.test_case "write_batch" `Quick test_volume_write_batch;
+          Alcotest.test_case "read_extent" `Quick test_volume_read_extent;
+          Alcotest.test_case "disk loss and rebuild" `Quick test_volume_rebuild;
+        ] );
+      ( "volume properties",
+        [ QCheck_alcotest.to_alcotest ~long:false prop_volume_batch_equals_singles ] );
+    ]

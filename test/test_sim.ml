@@ -1,0 +1,242 @@
+(* Tests for the simulation substrate: clock, DES engine, resources, and
+   the fluid pipeline solver that produces the paper's table numbers. *)
+
+module Clock = Repro_sim.Clock
+module Engine = Repro_sim.Engine
+module Resource = Repro_sim.Resource
+module Pipeline = Repro_sim.Pipeline
+module Stats = Repro_sim.Stats
+module Cost = Repro_sim.Cost
+
+let checki = Alcotest.(check int)
+let checkb = Alcotest.(check bool)
+let checkf msg = Alcotest.(check (float 1e-6)) msg
+
+let test_clock () =
+  let c = Clock.create () in
+  checkf "starts at 0" 0.0 (Clock.now c);
+  Clock.advance c 1.5;
+  checkf "advanced" 1.5 (Clock.now c);
+  Clock.advance_to c 3.0;
+  checkf "advance_to" 3.0 (Clock.now c);
+  (try
+     Clock.advance c (-1.0);
+     Alcotest.fail "negative advance should raise"
+   with Invalid_argument _ -> ());
+  try
+    Clock.advance_to c 1.0;
+    Alcotest.fail "backwards advance_to should raise"
+  with Invalid_argument _ -> ()
+
+let test_engine_ordering () =
+  let e = Engine.create () in
+  let log = ref [] in
+  Engine.schedule_at e 2.0 (fun () -> log := "b" :: !log);
+  Engine.schedule_at e 1.0 (fun () -> log := "a" :: !log);
+  Engine.schedule_at e 2.0 (fun () -> log := "c" :: !log);
+  (* same-time events fire in scheduling order *)
+  Engine.run e;
+  Alcotest.(check (list string)) "order" [ "a"; "b"; "c" ] (List.rev !log);
+  checkf "time at last event" 2.0 (Engine.now e)
+
+let test_engine_cascade () =
+  let e = Engine.create () in
+  let count = ref 0 in
+  let rec tick () =
+    incr count;
+    if !count < 5 then Engine.schedule_in e 1.0 tick
+  in
+  Engine.schedule_in e 1.0 tick;
+  Engine.run e;
+  checki "cascaded" 5 !count;
+  checkf "final time" 5.0 (Engine.now e)
+
+let test_engine_run_until () =
+  let e = Engine.create () in
+  let fired = ref 0 in
+  List.iter (fun t -> Engine.schedule_at e t (fun () -> incr fired)) [ 1.0; 2.0; 3.0 ];
+  Engine.run_until e 2.5;
+  checki "two fired" 2 !fired;
+  checkf "clock at horizon" 2.5 (Engine.now e);
+  checki "one pending" 1 (Engine.pending e)
+
+let test_resource_accounting () =
+  let r = Resource.create "disk" in
+  Resource.charge r ~bytes:1_000_000 0.5;
+  Resource.charge r 0.25;
+  checkf "busy" 0.75 (Resource.busy r);
+  checki "bytes" 1_000_000 (Resource.bytes r);
+  checkf "utilization" 0.375 (Resource.utilization r ~elapsed:2.0);
+  checkf "rate" 0.5 (Resource.rate_mb_s r ~elapsed:2.0);
+  Resource.reset r;
+  checkf "reset" 0.0 (Resource.busy r)
+
+let test_stats () =
+  let s = Stats.create () in
+  List.iter (Stats.add s) [ 1.0; 2.0; 3.0; 4.0 ];
+  checki "count" 4 (Stats.count s);
+  checkf "mean" 2.5 (Stats.mean s);
+  checkf "min" 1.0 (Stats.min s);
+  checkf "max" 4.0 (Stats.max s)
+
+(* --------------------------- pipeline solver -------------------------- *)
+
+(* A lone stage's elapsed time is the max of its demands (full overlap). *)
+let test_pipeline_single_stage_max () =
+  let disk = Resource.create "disk" and cpu = Resource.create "cpu" in
+  let stage =
+    Pipeline.stage "work" [ Pipeline.demand disk 2.0; Pipeline.demand cpu 0.5 ]
+  in
+  let r = Pipeline.run [ { Pipeline.stream_label = "s"; stages = [ stage ] } ] in
+  checkf "elapsed = max demand" 2.0 r.Pipeline.elapsed;
+  let s = List.hd r.Pipeline.stages in
+  checkf "disk saturated" 1.0 (Pipeline.stage_utilization s "disk");
+  checkf "cpu at 25%" 0.25 (Pipeline.stage_utilization s "cpu")
+
+(* Sequential stages add. *)
+let test_pipeline_stages_sequential () =
+  let cpu = Resource.create "cpu" in
+  let stages =
+    [
+      Pipeline.stage "a" [ Pipeline.demand cpu 1.0 ];
+      Pipeline.stage "b" [ Pipeline.demand cpu 2.0 ];
+    ]
+  in
+  let r = Pipeline.run [ { Pipeline.stream_label = "s"; stages } ] in
+  checkf "sum" 3.0 r.Pipeline.elapsed;
+  checki "two stage summaries" 2 (List.length r.Pipeline.stages)
+
+(* Two streams sharing one resource take twice as long; with private
+   resources they run fully in parallel. *)
+let test_pipeline_sharing () =
+  let shared = Resource.create "shared" in
+  let stream i =
+    {
+      Pipeline.stream_label = Printf.sprintf "s%d" i;
+      stages = [ Pipeline.stage "w" [ Pipeline.demand shared 1.0 ] ];
+    }
+  in
+  let r = Pipeline.run [ stream 0; stream 1 ] in
+  checkf "contended: serialized" 2.0 r.Pipeline.elapsed;
+  let a = Resource.create "a" and b = Resource.create "b" in
+  let independent name res =
+    {
+      Pipeline.stream_label = name;
+      stages = [ Pipeline.stage "w" [ Pipeline.demand res 1.0 ] ];
+    }
+  in
+  let r2 = Pipeline.run [ independent "x" a; independent "y" b ] in
+  checkf "independent: parallel" 1.0 r2.Pipeline.elapsed
+
+(* The bottleneck shifts as streams are added: the paper's core scaling
+   phenomenon. One tape (0.5s/unit) against a disk that costs 0.2s/unit
+   shared: 1 stream is tape-bound; 4 streams are disk-bound. *)
+let test_pipeline_bottleneck_shift () =
+  let disk = Resource.create "disk" in
+  let make_stream i =
+    let tape = Resource.create (Printf.sprintf "tape%d" i) in
+    {
+      Pipeline.stream_label = Printf.sprintf "s%d" i;
+      stages =
+        [ Pipeline.stage "dump" [ Pipeline.demand disk 0.2; Pipeline.demand tape 0.5 ] ];
+    }
+  in
+  let one = Pipeline.run [ make_stream 0 ] in
+  checkf "1 stream: tape-bound" 0.5 one.Pipeline.elapsed;
+  let four = Pipeline.run (List.init 4 make_stream) in
+  checkf "4 streams: disk-bound" 0.8 four.Pipeline.elapsed;
+  (* per-stream throughput degraded from 2/s to 1.25/s: saturation *)
+  checkb "disk saturated at 4" true
+    (Resource.utilization disk ~elapsed:four.Pipeline.elapsed > 0.0)
+
+(* Max-min fairness: a light stream is not starved by a heavy one. *)
+let test_pipeline_max_min () =
+  let shared = Resource.create "shared" in
+  let light = Resource.create "light-private" in
+  let heavy =
+    {
+      Pipeline.stream_label = "heavy";
+      stages = [ Pipeline.stage "w" [ Pipeline.demand shared 3.0 ] ];
+    }
+  in
+  let light_stream =
+    {
+      Pipeline.stream_label = "light";
+      stages =
+        [
+          Pipeline.stage "w"
+            [ Pipeline.demand shared 0.5; Pipeline.demand light 1.0 ];
+        ];
+    }
+  in
+  let r = Pipeline.run [ heavy; light_stream ] in
+  (* The light stream is limited by its private resource (1s alone); the
+     heavy stream uses the leftover shared capacity. Total shared work is
+     3.5s on a unit-capacity resource, so elapsed is at least 3.5s and the
+     light stream must have finished well before the end. *)
+  checkb "elapsed >= total shared work" true (r.Pipeline.elapsed >= 3.5 -. 1e-6);
+  checkb "elapsed < serialized upper bound" true (r.Pipeline.elapsed < 4.5)
+
+(* Zero-demand stages complete instantly and don't wedge the solver. *)
+let test_pipeline_empty_stage () =
+  let cpu = Resource.create "cpu" in
+  let stages =
+    [
+      Pipeline.stage "noop" [];
+      Pipeline.stage "work" [ Pipeline.demand cpu 1.0 ];
+      Pipeline.stage "noop2" [];
+    ]
+  in
+  let r = Pipeline.run [ { Pipeline.stream_label = "s"; stages } ] in
+  checkf "only real work counts" 1.0 r.Pipeline.elapsed;
+  checki "all stages reported" 3 (List.length r.Pipeline.stages)
+
+(* Parallel same-label stages aggregate into one summary row. *)
+let test_pipeline_label_aggregation () =
+  let disk = Resource.create "disk" in
+  let stream i =
+    {
+      Pipeline.stream_label = Printf.sprintf "s%d" i;
+      stages = [ Pipeline.stage "dumping files" [ Pipeline.demand disk 1.0 ] ];
+    }
+  in
+  let r = Pipeline.run [ stream 0; stream 1 ] in
+  checki "one aggregated row" 1 (List.length r.Pipeline.stages);
+  let s = List.hd r.Pipeline.stages in
+  checkf "window covers both" 2.0 (Pipeline.stage_elapsed s);
+  checkf "disk fully busy across window" 1.0 (Pipeline.stage_utilization s "disk")
+
+let test_cost_scale () =
+  let c = Cost.scale Cost.f630 2.0 in
+  checkb "scaled" true
+    (c.Cost.fs_read_per_byte = 2.0 *. Cost.f630.Cost.fs_read_per_byte)
+
+let () =
+  Alcotest.run "sim"
+    [
+      ( "clock+engine",
+        [
+          Alcotest.test_case "clock" `Quick test_clock;
+          Alcotest.test_case "event ordering" `Quick test_engine_ordering;
+          Alcotest.test_case "cascading events" `Quick test_engine_cascade;
+          Alcotest.test_case "run_until horizon" `Quick test_engine_run_until;
+        ] );
+      ( "resources",
+        [
+          Alcotest.test_case "accounting" `Quick test_resource_accounting;
+          Alcotest.test_case "stats" `Quick test_stats;
+          Alcotest.test_case "cost scaling" `Quick test_cost_scale;
+        ] );
+      ( "pipeline",
+        [
+          Alcotest.test_case "single stage = max demand" `Quick
+            test_pipeline_single_stage_max;
+          Alcotest.test_case "stages add" `Quick test_pipeline_stages_sequential;
+          Alcotest.test_case "resource sharing" `Quick test_pipeline_sharing;
+          Alcotest.test_case "bottleneck shift with streams" `Quick
+            test_pipeline_bottleneck_shift;
+          Alcotest.test_case "max-min fairness" `Quick test_pipeline_max_min;
+          Alcotest.test_case "empty stages" `Quick test_pipeline_empty_stage;
+          Alcotest.test_case "label aggregation" `Quick test_pipeline_label_aggregation;
+        ] );
+    ]

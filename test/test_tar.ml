@@ -1,0 +1,378 @@
+(* Tests for the tar baseline — including assertions of its deliberate
+   deficiencies relative to dump (the paper's §3 comparison):
+   incrementals cannot express deletions, attributes are lost, and sparse
+   files densify. *)
+
+module Volume = Repro_block.Volume
+module Library = Repro_tape.Library
+module Tapeio = Repro_tape.Tapeio
+module Fs = Repro_wafl.Fs
+module Inode = Repro_wafl.Inode
+module Tar = Repro_dump.Tar
+module Dump = Repro_dump.Dump
+module Restore = Repro_dump.Restore
+module Dumpdates = Repro_dump.Dumpdates
+module Generator = Repro_workload.Generator
+module Compare = Repro_workload.Compare
+
+let checki = Alcotest.(check int)
+let checkb = Alcotest.(check bool)
+let checks = Alcotest.(check string)
+
+let make_fs label =
+  let vol = Volume.create ~label (Volume.small_geometry ~data_blocks:16384) in
+  Fs.mkfs vol
+
+let lib label = Library.create ~slots:16 ~label ()
+
+let tar_create ?newer fs ~subtree l =
+  let view = Fs.active_view fs in
+  Tar.create ?newer ~view ~subtree ~sink:(Tapeio.sink l) ()
+
+let test_roundtrip () =
+  let fs = make_fs "src" in
+  ignore (Generator.populate ~fs ~root:"/data" ~total_bytes:700_000 ());
+  let l = lib "t" in
+  let r = tar_create fs ~subtree:"/data" l in
+  checkb "entries written" true (r.Tar.entries_written > 20);
+  let rfs = make_fs "dst" in
+  let x = Tar.extract ~fs:rfs ~target:"/r" (Tapeio.source l) in
+  checki "same count" r.Tar.entries_written x.Tar.entries_extracted;
+  (* content/structure/size/perms survive; mtimes only to 1s granularity,
+     xattrs and dos flags do NOT — compare manually *)
+  let rec walk rel =
+    let src_path = "/data" ^ rel and dst_path = "/r" ^ rel in
+    let sattr = Fs.getattr fs src_path in
+    let dattr = Fs.getattr rfs dst_path in
+    checkb (rel ^ " kind") true (sattr.Inode.kind = dattr.Inode.kind);
+    match sattr.Inode.kind with
+    | Inode.Directory ->
+      let snames = List.sort compare (List.map fst (Fs.readdir fs src_path)) in
+      let dnames = List.sort compare (List.map fst (Fs.readdir rfs dst_path)) in
+      Alcotest.(check (list string)) (rel ^ " entries") snames dnames;
+      List.iter (fun n -> walk (rel ^ "/" ^ n)) snames
+    | Inode.Regular ->
+      checki (rel ^ " size") sattr.Inode.size dattr.Inode.size;
+      checki (rel ^ " perms") sattr.Inode.perms dattr.Inode.perms;
+      checks (rel ^ " content")
+        (Fs.read fs src_path ~offset:0 ~len:sattr.Inode.size)
+        (Fs.read rfs dst_path ~offset:0 ~len:dattr.Inode.size)
+    | Inode.Symlink ->
+      checks (rel ^ " target") (Fs.readlink fs src_path) (Fs.readlink rfs dst_path)
+    | Inode.Free -> Alcotest.fail "free inode"
+  in
+  walk ""
+
+let test_long_paths () =
+  let fs = make_fs "src" in
+  ignore (Fs.mkdir fs "/data" ~perms:0o755);
+  (* build a path well beyond 100 characters *)
+  let seg = "a-directory-with-a-rather-long-name" in
+  let deep = ref "/data" in
+  for _ = 1 to 4 do
+    deep := !deep ^ "/" ^ seg;
+    ignore (Fs.mkdir fs !deep ~perms:0o755)
+  done;
+  let file = !deep ^ "/final-file-with-a-long-name.dat" in
+  ignore (Fs.create fs file ~perms:0o644);
+  Fs.write fs file ~offset:0 "deep payload";
+  checkb "path > 100 chars" true (String.length file > 100);
+  let l = lib "t" in
+  ignore (tar_create fs ~subtree:"/data" l);
+  let rfs = make_fs "dst" in
+  ignore (Tar.extract ~fs:rfs ~target:"/r" (Tapeio.source l));
+  let restored = "/r" ^ String.sub file 5 (String.length file - 5) in
+  checks "long path restored" "deep payload" (Fs.read rfs restored ~offset:0 ~len:12)
+
+let test_list () =
+  let fs = make_fs "src" in
+  ignore (Fs.mkdir fs "/data" ~perms:0o755);
+  ignore (Fs.mkdir fs "/data/sub" ~perms:0o755);
+  ignore (Fs.create fs "/data/sub/f.txt" ~perms:0o644);
+  Fs.write fs "/data/sub/f.txt" ~offset:0 "x";
+  let l = lib "t" in
+  ignore (tar_create fs ~subtree:"/data" l);
+  let toc = Tar.list (Tapeio.source l) in
+  let paths = List.map (fun e -> e.Tar.e_path) toc in
+  Alcotest.(check (list string)) "toc" [ "sub"; "sub/f.txt" ] paths
+
+(* The baseline's deficiency #1: a tar incremental chain cannot express a
+   deletion, so the ghost survives the restore — dump's usage maps catch
+   it. This is the paper's core argument for the dump format. *)
+let test_incremental_cannot_delete () =
+  let fs = make_fs "src" in
+  ignore (Fs.mkdir fs "/data" ~perms:0o755);
+  ignore (Fs.create fs "/data/doomed.txt" ~perms:0o644);
+  Fs.write fs "/data/doomed.txt" ~offset:0 "ghost";
+  ignore (Fs.create fs "/data/stays.txt" ~perms:0o644);
+  Fs.write fs "/data/stays.txt" ~offset:0 "fine";
+  let cut = Fs.now fs in
+
+  (* both tools take their full backups *)
+  let tar0 = lib "tar0" and dump0 = lib "dump0" in
+  ignore (tar_create fs ~subtree:"/data" tar0);
+  let dd = Dumpdates.create () in
+  let dump_view = Fs.active_view fs in
+  ignore
+    (Dump.run ~level:0 ~dumpdates:dd ~view:dump_view ~subtree:"/data" ~label:"d"
+       ~date:cut ~sink:(Tapeio.sink dump0) ());
+
+  (* the deletion happens, plus an unrelated change *)
+  Fs.unlink fs "/data/doomed.txt";
+  Fs.write fs "/data/stays.txt" ~offset:0 "FINE";
+
+  let tar1 = lib "tar1" and dump1 = lib "dump1" in
+  ignore (tar_create ~newer:cut fs ~subtree:"/data" tar1);
+  let dump_view1 = Fs.active_view fs in
+  ignore
+    (Dump.run ~level:1 ~dumpdates:dd ~view:dump_view1 ~subtree:"/data" ~label:"d"
+       ~date:(Fs.now fs) ~sink:(Tapeio.sink dump1) ());
+
+  (* restore both chains *)
+  let tar_fs = make_fs "tar-dst" in
+  ignore (Tar.extract ~fs:tar_fs ~target:"/r" (Tapeio.source tar0));
+  ignore (Tar.extract ~fs:tar_fs ~target:"/r" (Tapeio.source tar1));
+  let dump_fs = make_fs "dump-dst" in
+  let session = Restore.session ~fs:dump_fs ~target:"/r" () in
+  ignore (Restore.apply session (Tapeio.source dump0));
+  ignore (Restore.apply session (Tapeio.source dump1));
+
+  checkb "tar: the ghost survives" true (Fs.lookup tar_fs "/r/doomed.txt" <> None);
+  checkb "dump: the deletion propagates" true (Fs.lookup dump_fs "/r/doomed.txt" = None);
+  checks "both carried the change" "FINE" (Fs.read dump_fs "/r/stays.txt" ~offset:0 ~len:4);
+  checks "tar too" "FINE" (Fs.read tar_fs "/r/stays.txt" ~offset:0 ~len:4)
+
+(* Deficiency #2: attributes that don't map onto the format are lost. *)
+let test_attributes_lost () =
+  let fs = make_fs "src" in
+  ignore (Fs.mkdir fs "/data" ~perms:0o755);
+  ignore (Fs.create fs "/data/office.doc" ~perms:0o644);
+  Fs.write fs "/data/office.doc" ~offset:0 "doc";
+  Fs.set_xattr fs "/data/office.doc" ~name:"nt.acl" ~value:"D:(A;;FA;;;BA)";
+  Fs.set_dos_flags fs "/data/office.doc" ~flags:0x20;
+  let l = lib "t" in
+  ignore (tar_create fs ~subtree:"/data" l);
+  let rfs = make_fs "dst" in
+  ignore (Tar.extract ~fs:rfs ~target:"/r" (Tapeio.source l));
+  checkb "acl lost through tar" true (Fs.xattrs rfs "/r/office.doc" = []);
+  checki "dos flags lost through tar" 0 (Fs.getattr rfs "/r/office.doc").Inode.dos_flags;
+  (* whereas dump round-trips them (asserted in test_dump.ml too) *)
+  let dl = lib "d" in
+  let view = Fs.active_view fs in
+  ignore
+    (Dump.run ~view ~subtree:"/data" ~label:"d" ~date:(Fs.now fs)
+       ~sink:(Tapeio.sink dl) ());
+  let dfs = make_fs "dst2" in
+  let session = Restore.session ~fs:dfs ~target:"/r" () in
+  ignore (Restore.apply session (Tapeio.source dl));
+  checks "dump keeps the acl" "D:(A;;FA;;;BA)"
+    (Option.get (Fs.get_xattr dfs "/r/office.doc" ~name:"nt.acl"))
+
+(* Deficiency #3: tar densifies sparse files; dump preserves holes. *)
+let test_sparse_densified () =
+  let fs = make_fs "src" in
+  ignore (Fs.mkdir fs "/data" ~perms:0o755);
+  ignore (Fs.create fs "/data/sparse" ~perms:0o644);
+  Fs.write fs "/data/sparse" ~offset:0 "head";
+  Fs.write fs "/data/sparse" ~offset:(200 * 4096) "tail";
+  Fs.cp fs;
+  let tl = lib "t" and dl = lib "d" in
+  let tr = tar_create fs ~subtree:"/data" tl in
+  let view = Fs.active_view fs in
+  let dr =
+    Dump.run ~view ~subtree:"/data" ~label:"d" ~date:(Fs.now fs) ~sink:(Tapeio.sink dl) ()
+  in
+  (* the tar stream carries every hole as zeros; the dump stream does not *)
+  checkb
+    (Printf.sprintf "tar stream (%d) much larger than dump stream (%d)"
+       tr.Tar.bytes_written dr.Repro_dump.Dump.bytes_written)
+    true
+    (tr.Tar.bytes_written > 3 * dr.Repro_dump.Dump.bytes_written);
+  (* and the extracted file is dense (occupies ~201 blocks on disk) *)
+  let rfs = make_fs "dst" in
+  ignore (Tar.extract ~fs:rfs ~target:"/r" (Tapeio.source tl));
+  Fs.cp rfs;
+  let v = Fs.active_view rfs in
+  let ino = Option.get (Fs.View.lookup v "/r/sparse") in
+  let present = ref 0 in
+  for lbn = 0 to 200 do
+    if Fs.View.block_present v ino lbn then incr present
+  done;
+  checkb "densified" true (!present > 150);
+  checks "content intact anyway" "tail" (Fs.read rfs "/r/sparse" ~offset:(200 * 4096) ~len:4)
+
+(* Deficiency #4: tar (our baseline flavor, like v7 tar) duplicates
+   multiply-linked files; dump stores them once and restores real links. *)
+let test_hardlinks_duplicated () =
+  let fs = make_fs "src" in
+  ignore (Fs.mkdir fs "/data" ~perms:0o755);
+  ignore (Fs.create fs "/data/one" ~perms:0o644);
+  Fs.write fs "/data/one" ~offset:0 (String.make 40_000 'h');
+  Fs.link fs "/data/one" "/data/two";
+  let tl = lib "t" and dl = lib "d" in
+  let tr = tar_create fs ~subtree:"/data" tl in
+  let view = Fs.active_view fs in
+  let dr =
+    Dump.run ~view ~subtree:"/data" ~label:"d" ~date:(Fs.now fs) ~sink:(Tapeio.sink dl) ()
+  in
+  checkb
+    (Printf.sprintf "tar stream carries the data twice (%d vs %d)" tr.Tar.bytes_written
+       dr.Repro_dump.Dump.bytes_written)
+    true
+    (tr.Tar.bytes_written > tr.Tar.bytes_written / 2 + dr.Repro_dump.Dump.bytes_written / 2
+    && tr.Tar.bytes_written > 75_000);
+  let rfs = make_fs "dst" in
+  ignore (Tar.extract ~fs:rfs ~target:"/r" (Tapeio.source tl));
+  let i1 = Option.get (Fs.lookup rfs "/r/one") in
+  let i2 = Option.get (Fs.lookup rfs "/r/two") in
+  checkb "tar: separate inodes" true (i1 <> i2);
+  let dfs = make_fs "dst2" in
+  let session = Restore.session ~fs:dfs ~target:"/r" () in
+  ignore (Restore.apply session (Tapeio.source dl));
+  checki "dump: one inode" (Option.get (Fs.lookup dfs "/r/one"))
+    (Option.get (Fs.lookup dfs "/r/two"))
+
+let test_header_corruption_detected () =
+  let fs = make_fs "src" in
+  ignore (Fs.mkdir fs "/data" ~perms:0o755);
+  ignore (Fs.create fs "/data/a" ~perms:0o644);
+  Fs.write fs "/data/a" ~offset:0 (String.make 2000 'a');
+  let l = lib "t" in
+  ignore (tar_create fs ~subtree:"/data" l);
+  let media = List.hd (Library.used_media l) in
+  Repro_tape.Tape.corrupt_record media ~index:0;
+  let rfs = make_fs "dst" in
+  try
+    ignore (Tar.extract ~fs:rfs ~target:"/r" (Tapeio.source l));
+    Alcotest.fail "expected checksum failure"
+  with Repro_util.Serde.Corrupt _ -> ()
+
+(* ------------------------------- cpio -------------------------------- *)
+
+module Cpio = Repro_dump.Cpio
+
+let cpio_create ?newer fs ~subtree l =
+  let view = Fs.active_view fs in
+  Cpio.create ?newer ~view ~subtree ~sink:(Tapeio.sink l) ()
+
+let test_tar_symlinks () =
+  let fs = make_fs "src" in
+  ignore (Fs.mkdir fs "/data" ~perms:0o755);
+  ignore (Fs.create fs "/data/real" ~perms:0o644);
+  Fs.write fs "/data/real" ~offset:0 "x";
+  Fs.symlink fs ~target:"real" "/data/ln";
+  let tl = lib "t" in
+  ignore (tar_create fs ~subtree:"/data" tl);
+  let rfs = make_fs "dst" in
+  ignore (Tar.extract ~fs:rfs ~target:"/r" (Tapeio.source tl));
+  checks "tar keeps symlinks (typeflag 2)" "real" (Fs.readlink rfs "/r/ln");
+  (* cpio too, via mode 0120000 *)
+  let cl = lib "c" in
+  ignore (cpio_create fs ~subtree:"/data" cl);
+  let cfs = make_fs "dst2" in
+  ignore (Cpio.extract ~fs:cfs ~target:"/r" (Tapeio.source cl));
+  checks "cpio keeps symlinks" "real" (Fs.readlink cfs "/r/ln")
+
+let test_cpio_roundtrip () =
+  let fs = make_fs "src" in
+  ignore (Generator.populate ~fs ~root:"/data" ~total_bytes:500_000 ());
+  let l = lib "c" in
+  let r = cpio_create fs ~subtree:"/data" l in
+  checkb "entries" true (r.Cpio.entries_written > 10);
+  let rfs = make_fs "dst" in
+  let x = Cpio.extract ~fs:rfs ~target:"/r" (Tapeio.source l) in
+  checki "counts match" r.Cpio.entries_written x.Cpio.entries_extracted;
+  (* spot-check a few files *)
+  List.iteri
+    (fun i p ->
+      if i < 10 then begin
+        let rel = String.sub p 5 (String.length p - 5) in
+        let size = (Fs.getattr fs p).Inode.size in
+        checks p
+          (Fs.read fs p ~offset:0 ~len:size)
+          (Fs.read rfs ("/r" ^ rel) ~offset:0 ~len:size)
+      end)
+    (Generator.file_paths fs "/data")
+
+let test_cpio_preserves_hardlinks_but_duplicates_data () =
+  let fs = make_fs "src" in
+  ignore (Fs.mkdir fs "/data" ~perms:0o755);
+  ignore (Fs.create fs "/data/one" ~perms:0o644);
+  Fs.write fs "/data/one" ~offset:0 (String.make 30_000 'c');
+  Fs.link fs "/data/one" "/data/two";
+  let l = lib "c" in
+  let r = cpio_create fs ~subtree:"/data" l in
+  (* odc stores the data once per name: ~60 KB on the media *)
+  checkb
+    (Printf.sprintf "data duplicated on media (%d bytes)" r.Cpio.bytes_written)
+    true
+    (r.Cpio.bytes_written > 55_000);
+  (* ...but unlike tar, the extractor reconstructs the link *)
+  let rfs = make_fs "dst" in
+  let x = Cpio.extract ~fs:rfs ~target:"/r" (Tapeio.source l) in
+  checki "one link made" 1 x.Cpio.links_made;
+  checki "same inode" (Option.get (Fs.lookup rfs "/r/one"))
+    (Option.get (Fs.lookup rfs "/r/two"));
+  checki "nlink 2" 2 (Fs.getattr rfs "/r/one").Inode.nlink
+
+let test_cpio_incremental_cannot_delete () =
+  let fs = make_fs "src" in
+  ignore (Fs.mkdir fs "/data" ~perms:0o755);
+  ignore (Fs.create fs "/data/doomed" ~perms:0o644);
+  Fs.write fs "/data/doomed" ~offset:0 "ghost";
+  let cut = Fs.now fs in
+  let l0 = lib "c0" in
+  ignore (cpio_create fs ~subtree:"/data" l0);
+  Fs.unlink fs "/data/doomed";
+  ignore (Fs.create fs "/data/fresh" ~perms:0o644);
+  Fs.write fs "/data/fresh" ~offset:0 "new";
+  let l1 = lib "c1" in
+  ignore (cpio_create ~newer:cut fs ~subtree:"/data" l1);
+  let rfs = make_fs "dst" in
+  ignore (Cpio.extract ~fs:rfs ~target:"/r" (Tapeio.source l0));
+  ignore (Cpio.extract ~fs:rfs ~target:"/r" (Tapeio.source l1));
+  checkb "ghost survives (format cannot say 'deleted')" true
+    (Fs.lookup rfs "/r/doomed" <> None);
+  checks "fresh arrived" "new" (Fs.read rfs "/r/fresh" ~offset:0 ~len:3)
+
+let test_cpio_list () =
+  let fs = make_fs "src" in
+  ignore (Fs.mkdir fs "/data" ~perms:0o755);
+  ignore (Fs.create fs "/data/x" ~perms:0o600);
+  Fs.write fs "/data/x" ~offset:0 "1";
+  let l = lib "c" in
+  ignore (cpio_create fs ~subtree:"/data" l);
+  match Cpio.list (Tapeio.source l) with
+  | [ e ] ->
+    checks "name" "x" e.Cpio.e_path;
+    checki "size" 1 e.Cpio.e_size;
+    checki "perms" 0o600 e.Cpio.e_perms
+  | l -> Alcotest.failf "expected one entry, got %d" (List.length l)
+
+let () =
+  Alcotest.run "tar"
+    [
+      ( "cpio baseline",
+        [
+          Alcotest.test_case "round trip" `Quick test_cpio_roundtrip;
+          Alcotest.test_case "hard links preserved, data duplicated" `Quick
+            test_cpio_preserves_hardlinks_but_duplicates_data;
+          Alcotest.test_case "incremental cannot express deletion" `Quick
+            test_cpio_incremental_cannot_delete;
+          Alcotest.test_case "list" `Quick test_cpio_list;
+          Alcotest.test_case "symlinks through tar and cpio" `Quick test_tar_symlinks;
+        ] );
+      ( "baseline",
+        [
+          Alcotest.test_case "round trip" `Quick test_roundtrip;
+          Alcotest.test_case "ustar long paths" `Quick test_long_paths;
+          Alcotest.test_case "list" `Quick test_list;
+          Alcotest.test_case "incremental cannot express deletion" `Quick
+            test_incremental_cannot_delete;
+          Alcotest.test_case "multi-protocol attributes lost" `Quick test_attributes_lost;
+          Alcotest.test_case "sparse files densified" `Quick test_sparse_densified;
+          Alcotest.test_case "hard links duplicated" `Quick test_hardlinks_duplicated;
+          Alcotest.test_case "header corruption detected" `Quick
+            test_header_corruption_detected;
+        ] );
+    ]

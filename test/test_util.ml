@@ -1,0 +1,370 @@
+(* Unit and property tests for the util substrate: serialization cursors,
+   bitmaps, CRC-32, the PRNG, the binary heap, and the LRU. *)
+
+module Serde = Repro_util.Serde
+module Bitmap = Repro_util.Bitmap
+module Crc32 = Repro_util.Crc32
+module Prng = Repro_util.Prng
+module Heap = Repro_util.Heap
+module Units = Repro_util.Units
+
+module Lru = Repro_util.Lru.Make (struct
+  type t = int
+
+  let equal = Int.equal
+  let hash = Hashtbl.hash
+end)
+
+let checki = Alcotest.(check int)
+let checkb = Alcotest.(check bool)
+let checks = Alcotest.(check string)
+
+(* ------------------------------- serde ------------------------------- *)
+
+let test_serde_roundtrip () =
+  let w = Serde.writer () in
+  Serde.write_u8 w 0xab;
+  Serde.write_u16 w 0xbeef;
+  Serde.write_u32 w 0xdeadbeef;
+  Serde.write_u64 w 0x1122334455667788L;
+  Serde.write_int w (-42);
+  Serde.write_bool w true;
+  Serde.write_string w "hello";
+  Serde.write_fixed w "RAW";
+  let r = Serde.reader (Serde.contents w) in
+  checki "u8" 0xab (Serde.read_u8 r);
+  checki "u16" 0xbeef (Serde.read_u16 r);
+  checki "u32" 0xdeadbeef (Serde.read_u32 r);
+  Alcotest.(check int64) "u64" 0x1122334455667788L (Serde.read_u64 r);
+  checki "int" (-42) (Serde.read_int r);
+  checkb "bool" true (Serde.read_bool r);
+  checks "string" "hello" (Serde.read_string r);
+  checks "fixed" "RAW" (Serde.read_fixed r 3);
+  checkb "at end" true (Serde.at_end r)
+
+let test_serde_truncation () =
+  let r = Serde.reader "ab" in
+  (try
+     ignore (Serde.read_u32 r);
+     Alcotest.fail "expected Corrupt"
+   with Serde.Corrupt _ -> ());
+  let r2 = Serde.reader "\x02" in
+  try
+    ignore (Serde.read_bool r2);
+    Alcotest.fail "expected Corrupt on bad bool"
+  with Serde.Corrupt _ -> ()
+
+let test_serde_magic () =
+  let w = Serde.writer () in
+  Serde.write_fixed w "MAGIC";
+  let r = Serde.reader (Serde.contents w) in
+  Serde.expect_magic r "MAGIC";
+  let r2 = Serde.reader "WRONG" in
+  try
+    Serde.expect_magic r2 "MAGIC";
+    Alcotest.fail "expected Corrupt"
+  with Serde.Corrupt _ -> ()
+
+let prop_serde_string_roundtrip =
+  QCheck2.Test.make ~name:"serde: any string round-trips"
+    QCheck2.Gen.(string_size (int_bound 2000))
+    (fun s ->
+      let w = Serde.writer () in
+      Serde.write_string w s;
+      String.equal s (Serde.read_string (Serde.reader (Serde.contents w))))
+
+let prop_serde_int_roundtrip =
+  QCheck2.Test.make ~name:"serde: any int round-trips" QCheck2.Gen.int (fun i ->
+      let w = Serde.writer () in
+      Serde.write_int w i;
+      i = Serde.read_int (Serde.reader (Serde.contents w)))
+
+(* ------------------------------ bitmap ------------------------------- *)
+
+let test_bitmap_basics () =
+  let b = Bitmap.create 77 in
+  checki "empty" 0 (Bitmap.count b);
+  Bitmap.set b 0;
+  Bitmap.set b 76;
+  Bitmap.set b 33;
+  checki "three" 3 (Bitmap.count b);
+  checkb "get 33" true (Bitmap.get b 33);
+  Bitmap.clear b 33;
+  checkb "cleared" false (Bitmap.get b 33);
+  Alcotest.(check (list int)) "to_list" [ 0; 76 ] (Bitmap.to_list b);
+  Alcotest.(check (option int)) "first set" (Some 76) (Bitmap.first_set_from b 1);
+  Alcotest.(check (option int)) "first clear" (Some 1) (Bitmap.first_clear_from b 0);
+  try
+    Bitmap.set b 77;
+    Alcotest.fail "out of bounds should raise"
+  with Invalid_argument _ -> ()
+
+let test_bitmap_fill_tail () =
+  (* fill true must not set bits beyond the length in the last byte *)
+  let b = Bitmap.create 13 in
+  Bitmap.fill b true;
+  checki "count = length" 13 (Bitmap.count b);
+  let b2 = Bitmap.create 13 in
+  Bitmap.fill b2 true;
+  checkb "equal" true (Bitmap.equal b b2)
+
+let test_bitmap_serde () =
+  let b = Bitmap.create 100 in
+  List.iter (Bitmap.set b) [ 1; 9; 64; 99 ];
+  let w = Serde.writer () in
+  Bitmap.write w b;
+  let b' = Bitmap.read (Serde.reader (Serde.contents w)) in
+  checkb "round trip" true (Bitmap.equal b b')
+
+let gen_bitmap =
+  QCheck2.Gen.(
+    let* len = int_range 1 300 in
+    let* bits = list_size (int_bound 100) (int_bound (len - 1)) in
+    return (len, bits))
+
+let bitmap_of (len, bits) =
+  let b = Bitmap.create len in
+  List.iter (fun i -> Bitmap.set b i) bits;
+  b
+
+let prop_bitmap_algebra =
+  QCheck2.Test.make ~name:"bitmap: set algebra laws"
+    QCheck2.Gen.(pair gen_bitmap gen_bitmap)
+    (fun ((la, ba), (lb, bb)) ->
+      let len = Stdlib.max la lb in
+      let a = bitmap_of (len, List.filter (fun i -> i < len) ba) in
+      let b = bitmap_of (len, List.filter (fun i -> i < len) bb) in
+      let diff = Bitmap.diff a b in
+      let ok = ref true in
+      for i = 0 to len - 1 do
+        if Bitmap.get diff i <> (Bitmap.get a i && not (Bitmap.get b i)) then ok := false
+      done;
+      !ok
+      && Bitmap.count a = Bitmap.count diff + Bitmap.count (Bitmap.inter a b)
+      && Bitmap.count (Bitmap.union a b)
+         = Bitmap.count a + Bitmap.count b - Bitmap.count (Bitmap.inter a b))
+
+let prop_bitmap_subset =
+  QCheck2.Test.make ~name:"bitmap: inter is a subset of both" gen_bitmap
+    (fun (len, bits) ->
+      let a = bitmap_of (len, bits) in
+      let b = bitmap_of (len, List.filteri (fun i _ -> i mod 2 = 0) bits) in
+      Bitmap.subset (Bitmap.inter a b) a && Bitmap.subset (Bitmap.inter a b) b)
+
+let prop_bitmap_serde =
+  QCheck2.Test.make ~name:"bitmap: serialization round-trips" gen_bitmap (fun spec ->
+      let b = bitmap_of spec in
+      let w = Serde.writer () in
+      Bitmap.write w b;
+      Bitmap.equal b (Bitmap.read (Serde.reader (Serde.contents w))))
+
+(* ------------------------------- crc32 ------------------------------- *)
+
+let test_crc32_vectors () =
+  checki "check value" 0xcbf43926 (Crc32.string "123456789");
+  checki "empty" 0 (Crc32.string "");
+  checkb "differs on change" true (Crc32.string "hello" <> Crc32.string "hellp")
+
+let test_crc32_incremental () =
+  let s = "the quick brown fox jumps over the lazy dog" in
+  let whole = Crc32.string s in
+  let stepped =
+    Crc32.finish
+      (Crc32.update_substring
+         (Crc32.update_substring Crc32.init s 0 10)
+         s 10
+         (String.length s - 10))
+  in
+  checki "incremental = one-shot" whole stepped
+
+let prop_crc32_detects_flip =
+  QCheck2.Test.make ~name:"crc32: single byte flip always detected"
+    QCheck2.Gen.(pair (string_size (int_range 1 500)) (int_bound 10_000))
+    (fun (s, pos) ->
+      let pos = pos mod String.length s in
+      let b = Bytes.of_string s in
+      Bytes.set b pos (Char.chr (Char.code (Bytes.get b pos) lxor 0x5a));
+      Crc32.string s <> Crc32.string (Bytes.to_string b))
+
+(* -------------------------------- prng ------------------------------- *)
+
+let test_prng_determinism () =
+  let a = Prng.create 7 and b = Prng.create 7 in
+  for _ = 1 to 100 do
+    checki "same stream" (Prng.int a 1000) (Prng.int b 1000)
+  done;
+  let c = Prng.create 8 in
+  let differs = ref false in
+  for _ = 1 to 20 do
+    if Prng.int a 1000 <> Prng.int c 1000 then differs := true
+  done;
+  checkb "different seeds differ" true !differs
+
+let test_prng_ranges () =
+  let rng = Prng.create 3 in
+  for _ = 1 to 1000 do
+    let v = Prng.int rng 17 in
+    checkb "in range" true (v >= 0 && v < 17);
+    let f = Prng.float rng 2.5 in
+    checkb "float in range" true (f >= 0.0 && f < 2.5);
+    let x = Prng.int_in rng (-5) 5 in
+    checkb "int_in" true (x >= -5 && x <= 5)
+  done
+
+let test_prng_distributions () =
+  let rng = Prng.create 11 in
+  let n = 4001 in
+  let samples =
+    Array.init n (fun _ -> Prng.lognormal rng ~mu:(Float.log 8192.0) ~sigma:1.4)
+  in
+  Array.sort compare samples;
+  let median = samples.(n / 2) in
+  checkb
+    (Printf.sprintf "lognormal median ~8192 (got %.0f)" median)
+    true
+    (median > 5500.0 && median < 12000.0);
+  let zipf = Prng.zipf_table ~n:100 ~s:1.2 in
+  let low = ref 0 in
+  for _ = 1 to 1000 do
+    if zipf rng <= 10 then incr low
+  done;
+  checkb "zipf: rank<=10 majority" true (!low > 500);
+  let total = ref 0.0 in
+  for _ = 1 to 5000 do
+    total := !total +. Prng.exponential rng ~mean:3.0
+  done;
+  let mean = !total /. 5000.0 in
+  checkb
+    (Printf.sprintf "exponential mean ~3 (got %.2f)" mean)
+    true
+    (mean > 2.7 && mean < 3.3)
+
+let test_prng_shuffle () =
+  let rng = Prng.create 5 in
+  let a = Array.init 50 (fun i -> i) in
+  Prng.shuffle rng a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "permutation" (Array.init 50 (fun i -> i)) sorted;
+  checkb "actually shuffled" true (a <> Array.init 50 (fun i -> i))
+
+(* -------------------------------- heap ------------------------------- *)
+
+let test_heap_ordering () =
+  let h = Heap.create ~cmp:compare in
+  List.iter (Heap.push h) [ 5; 1; 4; 1; 3; 9; 0 ];
+  let out = ref [] in
+  let rec drain () =
+    match Heap.pop h with
+    | Some v ->
+      out := v :: !out;
+      drain ()
+    | None -> ()
+  in
+  drain ();
+  Alcotest.(check (list int)) "sorted" [ 9; 5; 4; 3; 1; 1; 0 ] !out
+
+let test_heap_fifo_ties () =
+  (* equal keys must pop in insertion order (determinism for the DES) *)
+  let h = Heap.create ~cmp:(fun (a, _) (b, _) -> compare a b) in
+  List.iter (Heap.push h) [ (1, "first"); (1, "second"); (1, "third") ];
+  checks "fifo 1" "first" (snd (Heap.pop_exn h));
+  checks "fifo 2" "second" (snd (Heap.pop_exn h));
+  checks "fifo 3" "third" (snd (Heap.pop_exn h))
+
+let prop_heap_sorts =
+  QCheck2.Test.make ~name:"heap: drains in sorted order"
+    QCheck2.Gen.(list_size (int_bound 200) int)
+    (fun l ->
+      let h = Heap.create ~cmp:compare in
+      List.iter (Heap.push h) l;
+      let rec drain acc =
+        match Heap.pop h with Some v -> drain (v :: acc) | None -> List.rev acc
+      in
+      drain [] = List.sort compare l)
+
+(* -------------------------------- lru -------------------------------- *)
+
+let test_lru_eviction () =
+  let l = Lru.create ~capacity:3 in
+  let evicted = ref [] in
+  let on_evict k _ = evicted := k :: !evicted in
+  Lru.add ~on_evict l 1 "a";
+  Lru.add ~on_evict l 2 "b";
+  Lru.add ~on_evict l 3 "c";
+  ignore (Lru.find l 1);
+  Lru.add ~on_evict l 4 "d";
+  Alcotest.(check (list int)) "evicted 2" [ 2 ] !evicted;
+  checkb "1 kept" true (Lru.mem l 1);
+  checkb "4 kept" true (Lru.mem l 4);
+  checki "size" 3 (Lru.length l)
+
+let test_lru_peek_no_promote () =
+  let l = Lru.create ~capacity:2 in
+  Lru.add l 1 "a";
+  Lru.add l 2 "b";
+  ignore (Lru.peek l 1);
+  Lru.add l 3 "c";
+  checkb "1 evicted despite peek" false (Lru.mem l 1)
+
+let test_lru_replace () =
+  let l = Lru.create ~capacity:2 in
+  Lru.add l 1 "a";
+  Lru.add l 1 "b";
+  checki "no duplicate" 1 (Lru.length l);
+  Alcotest.(check (option string)) "updated" (Some "b") (Lru.find l 1)
+
+(* ------------------------------- units ------------------------------- *)
+
+let test_units () =
+  Alcotest.(check (float 0.01)) "mb/s" 10.0 (Units.mb_per_s ~bytes:10_000_000 ~seconds:1.0);
+  Alcotest.(check (float 0.01)) "gb/h" 3.6 (Units.gb_per_hour ~bytes:1_000_000 ~seconds:1.0);
+  checki "mib" (1024 * 1024) Units.mib
+
+let qsuite name tests = (name, List.map (QCheck_alcotest.to_alcotest ~long:false) tests)
+
+let () =
+  Alcotest.run "util"
+    [
+      ( "serde",
+        [
+          Alcotest.test_case "round trip" `Quick test_serde_roundtrip;
+          Alcotest.test_case "truncation detected" `Quick test_serde_truncation;
+          Alcotest.test_case "magic check" `Quick test_serde_magic;
+        ] );
+      qsuite "serde properties" [ prop_serde_string_roundtrip; prop_serde_int_roundtrip ];
+      ( "bitmap",
+        [
+          Alcotest.test_case "basics" `Quick test_bitmap_basics;
+          Alcotest.test_case "fill respects length" `Quick test_bitmap_fill_tail;
+          Alcotest.test_case "serialization" `Quick test_bitmap_serde;
+        ] );
+      qsuite "bitmap properties"
+        [ prop_bitmap_algebra; prop_bitmap_subset; prop_bitmap_serde ];
+      ( "crc32",
+        [
+          Alcotest.test_case "standard vectors" `Quick test_crc32_vectors;
+          Alcotest.test_case "incremental" `Quick test_crc32_incremental;
+        ] );
+      qsuite "crc32 properties" [ prop_crc32_detects_flip ];
+      ( "prng",
+        [
+          Alcotest.test_case "determinism" `Quick test_prng_determinism;
+          Alcotest.test_case "ranges" `Quick test_prng_ranges;
+          Alcotest.test_case "distributions" `Quick test_prng_distributions;
+          Alcotest.test_case "shuffle" `Quick test_prng_shuffle;
+        ] );
+      ( "heap",
+        [
+          Alcotest.test_case "ordering" `Quick test_heap_ordering;
+          Alcotest.test_case "fifo on ties" `Quick test_heap_fifo_ties;
+        ] );
+      qsuite "heap properties" [ prop_heap_sorts ];
+      ( "lru",
+        [
+          Alcotest.test_case "eviction order" `Quick test_lru_eviction;
+          Alcotest.test_case "peek does not promote" `Quick test_lru_peek_no_promote;
+          Alcotest.test_case "replace" `Quick test_lru_replace;
+        ] );
+      ("units", [ Alcotest.test_case "conversions" `Quick test_units ]);
+    ]

@@ -1,0 +1,735 @@
+(* WAFL file-system tests: structure, consistency points, snapshots, NVRAM
+   replay, quota trees, extended attributes, and fsck. *)
+
+module Volume = Repro_block.Volume
+module Fs = Repro_wafl.Fs
+module Inode = Repro_wafl.Inode
+module Nvram = Repro_wafl.Nvram
+module Blockmap = Repro_wafl.Blockmap
+module Prng = Repro_util.Prng
+
+let check = Alcotest.check
+let checks = check Alcotest.string
+let checki = check Alcotest.int
+let checkb = check Alcotest.bool
+
+let make_vol ?(blocks = 8192) () =
+  Volume.create ~label:"test" (Volume.small_geometry ~data_blocks:blocks)
+
+let make_fs ?nvram ?(blocks = 8192) () =
+  let vol = make_vol ~blocks () in
+  (Fs.mkfs ?nvram vol, vol)
+
+let fsck_clean fs =
+  match Fs.fsck fs with
+  | Ok () -> ()
+  | Error problems -> Alcotest.failf "fsck: %s" (String.concat "; " problems)
+
+let test_mkfs_mount () =
+  let fs, vol = make_fs () in
+  checki "root exists" Repro_wafl.Layout.root_ino (Option.get (Fs.lookup fs "/"));
+  Fs.cp fs;
+  let fs2 = Fs.mount vol in
+  checki "remounted root" Repro_wafl.Layout.root_ino (Option.get (Fs.lookup fs2 "/"));
+  fsck_clean fs2
+
+let test_create_write_read () =
+  let fs, _ = make_fs () in
+  let _ino = Fs.create fs "/hello.txt" ~perms:0o644 in
+  Fs.write fs "/hello.txt" ~offset:0 "hello, world";
+  checks "read back" "hello, world" (Fs.read fs "/hello.txt" ~offset:0 ~len:100);
+  checks "partial" "world" (Fs.read fs "/hello.txt" ~offset:7 ~len:5);
+  let attr = Fs.getattr fs "/hello.txt" in
+  checki "size" 12 attr.Inode.size;
+  fsck_clean fs
+
+let test_large_file_indirect () =
+  let fs, vol = make_fs ~blocks:16384 () in
+  ignore (Fs.create fs "/big" ~perms:0o644);
+  (* 20 MB would not fit; write enough to exercise single and double
+     indirect levels: ndirect=16, ppb=1024 -> need > (16+1024) blocks for
+     double indirection; that's 4 MB+. Use a sparse write instead. *)
+  let rng = Prng.create 42 in
+  let chunk i = String.init 1000 (fun j -> Char.chr ((i + j + Prng.int rng 7) mod 256)) in
+  let written = Array.init 40 (fun i -> chunk i) in
+  Array.iteri (fun i data -> Fs.write fs "/big" ~offset:(i * 50_000) data) written;
+  (* sparse tail to force a double-indirect pointer: block 1050 *)
+  Fs.write fs "/big" ~offset:(1050 * 4096) "tail-data";
+  Fs.cp fs;
+  let fs2 = Fs.mount vol in
+  Array.iteri
+    (fun i data ->
+      checks
+        (Printf.sprintf "chunk %d" i)
+        data
+        (Fs.read fs2 "/big" ~offset:(i * 50_000) ~len:1000))
+    written;
+  checks "tail" "tail-data" (Fs.read fs2 "/big" ~offset:(1050 * 4096) ~len:9);
+  (* hole reads as zeros *)
+  checks "hole" (String.make 4 '\000') (Fs.read fs2 "/big" ~offset:(900 * 4096) ~len:4);
+  fsck_clean fs2
+
+let test_mkdir_tree () =
+  let fs, _ = make_fs () in
+  ignore (Fs.mkdir fs "/a" ~perms:0o755);
+  ignore (Fs.mkdir fs "/a/b" ~perms:0o755);
+  ignore (Fs.create fs "/a/b/c.txt" ~perms:0o644);
+  Fs.write fs "/a/b/c.txt" ~offset:0 "deep";
+  checks "deep read" "deep" (Fs.read fs "/a/b/c.txt" ~offset:0 ~len:10);
+  let names = List.map fst (Fs.readdir fs "/a") in
+  check (Alcotest.list Alcotest.string) "readdir /a" [ "b" ] names;
+  fsck_clean fs
+
+let test_unlink_rmdir () =
+  let fs, _ = make_fs () in
+  ignore (Fs.mkdir fs "/d" ~perms:0o755);
+  ignore (Fs.create fs "/d/f" ~perms:0o644);
+  Fs.write fs "/d/f" ~offset:0 (String.make 10_000 'x');
+  Fs.cp fs;
+  let used_before = Fs.used_blocks fs in
+  Fs.unlink fs "/d/f";
+  Fs.cp fs;
+  checkb "blocks freed" true (Fs.used_blocks fs < used_before);
+  checkb "gone" true (Fs.lookup fs "/d/f" = None);
+  (match Fs.rmdir fs "/d" with () -> ());
+  checkb "dir gone" true (Fs.lookup fs "/d" = None);
+  (* rmdir of non-empty must fail *)
+  ignore (Fs.mkdir fs "/e" ~perms:0o755);
+  ignore (Fs.create fs "/e/f" ~perms:0o644);
+  (try
+     Fs.rmdir fs "/e";
+     Alcotest.fail "rmdir of non-empty dir should fail"
+   with Fs.Error _ -> ());
+  fsck_clean fs
+
+let test_hard_links () =
+  let fs, vol = make_fs () in
+  ignore (Fs.mkdir fs "/a" ~perms:0o755);
+  ignore (Fs.mkdir fs "/b" ~perms:0o755);
+  ignore (Fs.create fs "/a/orig" ~perms:0o644);
+  Fs.write fs "/a/orig" ~offset:0 "shared content";
+  Fs.link fs "/a/orig" "/b/alias";
+  checki "nlink 2" 2 (Fs.getattr fs "/a/orig").Inode.nlink;
+  checki "same inode" (Option.get (Fs.lookup fs "/a/orig"))
+    (Option.get (Fs.lookup fs "/b/alias"));
+  (* a write through one name is visible through the other *)
+  Fs.write fs "/b/alias" ~offset:0 "SHARED";
+  checks "visible via both" "SHARED content" (Fs.read fs "/a/orig" ~offset:0 ~len:14);
+  (* unlink one name: the file lives on *)
+  Fs.unlink fs "/a/orig";
+  checki "nlink 1" 1 (Fs.getattr fs "/b/alias").Inode.nlink;
+  checks "content intact" "SHARED content" (Fs.read fs "/b/alias" ~offset:0 ~len:14);
+  (* persists across mount *)
+  Fs.link fs "/b/alias" "/b/alias2";
+  Fs.cp fs;
+  let fs2 = Fs.mount vol in
+  checki "links persist" (Option.get (Fs.lookup fs2 "/b/alias"))
+    (Option.get (Fs.lookup fs2 "/b/alias2"));
+  (* unlink the last name frees the inode *)
+  Fs.unlink fs2 "/b/alias";
+  Fs.unlink fs2 "/b/alias2";
+  checkb "gone" true (Fs.lookup fs2 "/b/alias2" = None);
+  (* no hard links to directories *)
+  (try
+     Fs.link fs2 "/a" "/dirlink";
+     Alcotest.fail "directory hard link should fail"
+   with Fs.Error _ -> ());
+  fsck_clean fs2
+
+let test_symlinks () =
+  let fs, vol = make_fs () in
+  ignore (Fs.mkdir fs "/bin" ~perms:0o755);
+  ignore (Fs.create fs "/bin/real" ~perms:0o755);
+  Fs.write fs "/bin/real" ~offset:0 "#!/bin/sh";
+  Fs.symlink fs ~target:"/bin/real" "/bin/alias";
+  checks "readlink" "/bin/real" (Fs.readlink fs "/bin/alias");
+  checkb "kind" true ((Fs.getattr fs "/bin/alias").Inode.kind = Inode.Symlink);
+  (* namei does not follow: reading the link as a file is an error *)
+  (try
+     ignore (Fs.read fs "/bin/alias" ~offset:0 ~len:4);
+     Alcotest.fail "read through symlink should fail (lstat semantics)"
+   with Fs.Error _ -> ());
+  (* rename and unlink treat it as a leaf *)
+  Fs.rename fs "/bin/alias" "/bin/alias2";
+  checks "renamed" "/bin/real" (Fs.readlink fs "/bin/alias2");
+  (* persists across mount *)
+  Fs.cp fs;
+  let fs2 = Fs.mount vol in
+  checks "persisted" "/bin/real" (Fs.readlink fs2 "/bin/alias2");
+  Fs.unlink fs2 "/bin/alias2";
+  checkb "unlinked" true (Fs.lookup fs2 "/bin/alias2" = None);
+  (try
+     ignore (Fs.readlink fs2 "/bin/real");
+     Alcotest.fail "readlink of a file should fail"
+   with Fs.Error _ -> ());
+  fsck_clean fs2
+
+let test_rename_onto_own_link () =
+  let fs, _ = make_fs () in
+  ignore (Fs.create fs "/f" ~perms:0o644);
+  Fs.write fs "/f" ~offset:0 "data";
+  Fs.link fs "/f" "/g";
+  (* POSIX: rename onto another name of the same file removes the source *)
+  Fs.rename fs "/f" "/g";
+  checkb "source gone" true (Fs.lookup fs "/f" = None);
+  checki "nlink back to 1" 1 (Fs.getattr fs "/g").Inode.nlink;
+  checks "content" "data" (Fs.read fs "/g" ~offset:0 ~len:4);
+  fsck_clean fs
+
+let test_rename () =
+  let fs, _ = make_fs () in
+  ignore (Fs.mkdir fs "/src" ~perms:0o755);
+  ignore (Fs.mkdir fs "/dst" ~perms:0o755);
+  ignore (Fs.create fs "/src/f" ~perms:0o644);
+  Fs.write fs "/src/f" ~offset:0 "payload";
+  Fs.rename fs "/src/f" "/dst/g";
+  checkb "src gone" true (Fs.lookup fs "/src/f" = None);
+  checks "moved" "payload" (Fs.read fs "/dst/g" ~offset:0 ~len:10);
+  (* rename over an existing file replaces it *)
+  ignore (Fs.create fs "/dst/h" ~perms:0o644);
+  Fs.write fs "/dst/h" ~offset:0 "old";
+  Fs.rename fs "/dst/g" "/dst/h";
+  checks "replaced" "payload" (Fs.read fs "/dst/h" ~offset:0 ~len:10);
+  (* directory rename across parents fixes ".." *)
+  ignore (Fs.mkdir fs "/src/sub" ~perms:0o755);
+  ignore (Fs.create fs "/src/sub/x" ~perms:0o644);
+  Fs.rename fs "/src/sub" "/dst/sub";
+  checkb "dir moved" true (Fs.lookup fs "/dst/sub/x" <> None);
+  fsck_clean fs
+
+let test_truncate () =
+  let fs, _ = make_fs () in
+  ignore (Fs.create fs "/t" ~perms:0o644);
+  Fs.write fs "/t" ~offset:0 (String.make 9000 'a');
+  Fs.truncate fs "/t" ~size:5000;
+  checki "size" 5000 (Fs.getattr fs "/t").Inode.size;
+  checks "tail cut" "" (Fs.read fs "/t" ~offset:5000 ~len:10);
+  (* extending a truncated file reads zeros in the gap *)
+  Fs.write fs "/t" ~offset:6000 "z";
+  checks "gap zeros" (String.make 10 '\000') (Fs.read fs "/t" ~offset:5010 ~len:10);
+  fsck_clean fs
+
+let test_persistence_across_mounts () =
+  let nfiles = 50 in
+  let fs, vol = make_fs () in
+  let rng = Prng.create 7 in
+  let contents =
+    Array.init nfiles (fun i ->
+        let path = Printf.sprintf "/f%03d" i in
+        let data = String.init (Prng.int_in rng 1 9000) (fun j -> Char.chr ((i + j) mod 256)) in
+        ignore (Fs.create fs path ~perms:0o644);
+        Fs.write fs path ~offset:0 data;
+        (path, data))
+  in
+  Fs.cp fs;
+  let fs2 = Fs.mount vol in
+  Array.iter
+    (fun (path, data) ->
+      checks path data (Fs.read fs2 path ~offset:0 ~len:(String.length data)))
+    contents;
+  fsck_clean fs2
+
+let test_crash_loses_uncommitted () =
+  let fs, vol = make_fs () in
+  ignore (Fs.create fs "/committed" ~perms:0o644);
+  Fs.write fs "/committed" ~offset:0 "safe";
+  Fs.cp fs;
+  ignore (Fs.create fs "/lost" ~perms:0o644);
+  Fs.write fs "/lost" ~offset:0 "gone";
+  Fs.crash fs;
+  let fs2 = Fs.mount vol in
+  checks "committed survives" "safe" (Fs.read fs2 "/committed" ~offset:0 ~len:10);
+  checkb "uncommitted lost" true (Fs.lookup fs2 "/lost" = None);
+  fsck_clean fs2
+
+let test_nvram_replay () =
+  let nvram = Nvram.create () in
+  let vol = make_vol () in
+  let fs = Fs.mkfs ~nvram vol in
+  ignore (Fs.create fs "/committed" ~perms:0o644);
+  Fs.write fs "/committed" ~offset:0 "safe";
+  Fs.cp fs;
+  ignore (Fs.create fs "/logged" ~perms:0o644);
+  Fs.write fs "/logged" ~offset:0 "replayed";
+  Fs.crash fs;
+  let fs2 = Fs.mount ~nvram vol in
+  checks "committed survives" "safe" (Fs.read fs2 "/committed" ~offset:0 ~len:10);
+  checks "nvram replayed" "replayed" (Fs.read fs2 "/logged" ~offset:0 ~len:10);
+  fsck_clean fs2
+
+let test_nvram_failure_keeps_consistency () =
+  let nvram = Nvram.create () in
+  let vol = make_vol () in
+  let fs = Fs.mkfs ~nvram vol in
+  ignore (Fs.create fs "/a" ~perms:0o644);
+  Fs.write fs "/a" ~offset:0 "data";
+  Fs.cp fs;
+  ignore (Fs.create fs "/b" ~perms:0o644);
+  Nvram.fail nvram;
+  Fs.crash fs;
+  (* "If the filer's NVRAM fails, the WAFL file system is still completely
+     self consistent; the only damage is that a few seconds worth of
+     operations may be lost." *)
+  let fs2 = Fs.mount ~nvram vol in
+  checks "old data fine" "data" (Fs.read fs2 "/a" ~offset:0 ~len:10);
+  checkb "logged op lost" true (Fs.lookup fs2 "/b" = None);
+  fsck_clean fs2
+
+let test_snapshot_basic () =
+  let fs, _ = make_fs () in
+  ignore (Fs.create fs "/file" ~perms:0o644);
+  Fs.write fs "/file" ~offset:0 "version-1";
+  Fs.snapshot_create fs "snap1";
+  Fs.write fs "/file" ~offset:0 "version-2";
+  Fs.cp fs;
+  checks "live changed" "version-2" (Fs.read fs "/file" ~offset:0 ~len:9);
+  let v = Fs.snapshot_view fs "snap1" in
+  let ino = Option.get (Fs.View.lookup v "/file") in
+  checks "snapshot frozen" "version-1" (Fs.View.read v ino ~offset:0 ~len:9);
+  fsck_clean fs
+
+let test_snapshot_protects_deleted_file () =
+  let fs, _ = make_fs () in
+  ignore (Fs.create fs "/doomed" ~perms:0o644);
+  Fs.write fs "/doomed" ~offset:0 (String.make 20_000 'd');
+  Fs.snapshot_create fs "keeper";
+  Fs.unlink fs "/doomed";
+  Fs.cp fs;
+  checkb "live gone" true (Fs.lookup fs "/doomed" = None);
+  let v = Fs.snapshot_view fs "keeper" in
+  let ino = Option.get (Fs.View.lookup v "/doomed") in
+  checks "snapshot still has it"
+    (String.make 100 'd')
+    (Fs.View.read v ino ~offset:0 ~len:100);
+  (* churn the live fs; snapshot content must stay intact (COW) *)
+  for i = 0 to 30 do
+    let p = Printf.sprintf "/churn%d" i in
+    ignore (Fs.create fs p ~perms:0o644);
+    Fs.write fs p ~offset:0 (String.make 8000 (Char.chr (65 + (i mod 26))));
+    Fs.cp fs
+  done;
+  checks "snapshot survives churn"
+    (String.make 100 'd')
+    (Fs.View.read v ino ~offset:0 ~len:100);
+  fsck_clean fs
+
+let test_snapshot_delete_frees () =
+  let fs, _ = make_fs () in
+  ignore (Fs.create fs "/f" ~perms:0o644);
+  Fs.write fs "/f" ~offset:0 (String.make 40_000 'x');
+  Fs.snapshot_create fs "s";
+  Fs.unlink fs "/f";
+  Fs.cp fs;
+  let free_with_snap = Fs.free_blocks fs in
+  Fs.snapshot_delete fs "s";
+  let free_after = Fs.free_blocks fs in
+  checkb "deleting snapshot frees blocks" true (free_after > free_with_snap);
+  checkb "snapshot gone" true (Fs.snapshots fs = []);
+  fsck_clean fs
+
+let test_snapshot_persists_across_mount () =
+  let fs, vol = make_fs () in
+  ignore (Fs.create fs "/f" ~perms:0o644);
+  Fs.write fs "/f" ~offset:0 "snapdata";
+  Fs.snapshot_create fs "persist";
+  Fs.write fs "/f" ~offset:0 "newdata!";
+  Fs.cp fs;
+  let fs2 = Fs.mount vol in
+  let infos = Fs.snapshots fs2 in
+  checki "one snapshot" 1 (List.length infos);
+  checks "name" "persist" (List.hd infos).Fs.name;
+  let v = Fs.snapshot_view fs2 "persist" in
+  let ino = Option.get (Fs.View.lookup v "/f") in
+  checks "content" "snapdata" (Fs.View.read v ino ~offset:0 ~len:8);
+  fsck_clean fs2
+
+let test_snapshot_limit () =
+  let fs, _ = make_fs ~blocks:16384 () in
+  for i = 1 to Repro_wafl.Layout.max_snapshots do
+    Fs.snapshot_create fs (Printf.sprintf "s%d" i)
+  done;
+  (try
+     Fs.snapshot_create fs "one-too-many";
+     Alcotest.fail "snapshot over the limit should fail"
+   with Fs.Error _ -> ());
+  checki "count" Repro_wafl.Layout.max_snapshots (List.length (Fs.snapshots fs))
+
+let test_xattrs () =
+  let fs, vol = make_fs () in
+  ignore (Fs.create fs "/doc.txt" ~perms:0o644);
+  Fs.set_xattr fs "/doc.txt" ~name:"dos.name" ~value:"DOC~1.TXT";
+  Fs.set_xattr fs "/doc.txt" ~name:"nt.acl" ~value:"D:(A;;GA;;;WD)";
+  Fs.set_dos_flags fs "/doc.txt" ~flags:0x21;
+  Fs.cp fs;
+  let fs2 = Fs.mount vol in
+  checks "dos name" "DOC~1.TXT" (Option.get (Fs.get_xattr fs2 "/doc.txt" ~name:"dos.name"));
+  checks "acl" "D:(A;;GA;;;WD)" (Option.get (Fs.get_xattr fs2 "/doc.txt" ~name:"nt.acl"));
+  checki "dos flags" 0x21 (Fs.getattr fs2 "/doc.txt").Inode.dos_flags;
+  fsck_clean fs2
+
+let test_qtrees () =
+  let fs, _ = make_fs () in
+  let q1 = Fs.qtree_create fs "/proj1" ~perms:0o755 in
+  let q2 = Fs.qtree_create fs "/proj2" ~perms:0o755 in
+  checkb "distinct ids" true (q1 <> q2);
+  ignore (Fs.create fs "/proj1/file" ~perms:0o644);
+  ignore (Fs.mkdir fs "/proj1/sub" ~perms:0o755);
+  ignore (Fs.create fs "/proj1/sub/deep" ~perms:0o644);
+  checki "inherited" q1 (Fs.qtree_of fs "/proj1/file");
+  checki "inherited deep" q1 (Fs.qtree_of fs "/proj1/sub/deep");
+  checki "other tree" q2 (Fs.qtree_of fs "/proj2");
+  fsck_clean fs
+
+let test_qtree_quotas () =
+  let fs, vol = make_fs () in
+  let q = Fs.qtree_create fs "/proj" ~perms:0o755 in
+  ignore (Fs.create fs "/proj/a" ~perms:0o644);
+  Fs.write fs "/proj/a" ~offset:0 (String.make 10_000 'a');
+  checki "usage tracks writes" 10_000 (Fs.qtree_usage fs ~qtree:q);
+  Fs.truncate fs "/proj/a" ~size:4_000;
+  checki "usage tracks truncate" 4_000 (Fs.qtree_usage fs ~qtree:q);
+  (* set a limit and hit it *)
+  Fs.set_qtree_limit fs "/proj" ~limit:(Some 8_000);
+  Alcotest.(check (option int)) "limit readable" (Some 8_000) (Fs.qtree_limit fs ~qtree:q);
+  Fs.write fs "/proj/a" ~offset:4_000 (String.make 3_000 'b');
+  (try
+     Fs.write fs "/proj/a" ~offset:7_000 (String.make 5_000 'c');
+     Alcotest.fail "expected quota error"
+   with Fs.Error _ -> ());
+  (* overwrites within the file are free *)
+  Fs.write fs "/proj/a" ~offset:0 (String.make 7_000 'd');
+  (* deleting frees quota *)
+  ignore (Fs.create fs "/proj/b" ~perms:0o644);
+  Fs.unlink fs "/proj/a";
+  checki "usage after unlink" 0 (Fs.qtree_usage fs ~qtree:q);
+  Fs.write fs "/proj/b" ~offset:0 (String.make 7_500 'e');
+  (* usage and limits survive a remount *)
+  Fs.cp fs;
+  let fs2 = Fs.mount vol in
+  checki "usage rebuilt at mount" 7_500 (Fs.qtree_usage fs2 ~qtree:q);
+  Alcotest.(check (option int)) "limit persisted" (Some 8_000)
+    (Fs.qtree_limit fs2 ~qtree:q);
+  (try
+     Fs.write fs2 "/proj/b" ~offset:7_500 (String.make 1_000 'f');
+     Alcotest.fail "quota enforced after remount"
+   with Fs.Error _ -> ());
+  (* removing the limit reopens the tree *)
+  Fs.set_qtree_limit fs2 "/proj" ~limit:None;
+  Fs.write fs2 "/proj/b" ~offset:7_500 (String.make 1_000 'f');
+  fsck_clean fs2
+
+let test_auto_cp () =
+  let config = { (Fs.default_config ()) with Fs.auto_cp_ops = 10 } in
+  let vol = make_vol () in
+  let fs = Fs.mkfs ~config vol in
+  let gen0 = Fs.generation fs in
+  for i = 0 to 25 do
+    ignore (Fs.create fs (Printf.sprintf "/auto%d" i) ~perms:0o644)
+  done;
+  checkb "auto CPs happened" true (Fs.generation fs > gen0 + 1);
+  fsck_clean fs
+
+let test_errors () =
+  let fs, _ = make_fs () in
+  let expect_error f =
+    try
+      f ();
+      Alcotest.fail "expected Fs.Error"
+    with Fs.Error _ -> ()
+  in
+  expect_error (fun () -> ignore (Fs.create fs "/missing/file" ~perms:0o644));
+  expect_error (fun () -> Fs.read fs "/nope" ~offset:0 ~len:1 |> ignore);
+  ignore (Fs.create fs "/dup" ~perms:0o644);
+  expect_error (fun () -> ignore (Fs.create fs "/dup" ~perms:0o644));
+  expect_error (fun () -> Fs.unlink fs "/nope");
+  expect_error (fun () -> ignore (Fs.mkdir fs "/dup/sub" ~perms:0o755));
+  expect_error (fun () -> Fs.write fs "/" ~offset:0 "not a file")
+
+let test_fsinfo_torn_write () =
+  let fs, vol = make_fs () in
+  ignore (Fs.create fs "/x" ~perms:0o644);
+  Fs.write fs "/x" ~offset:0 "resilient";
+  Fs.cp fs;
+  Fs.crash fs;
+  (* Corrupt the primary fsinfo copy; mount must fall back to the backup. *)
+  let junk = Bytes.make 4096 '\xde' in
+  Volume.write vol Repro_wafl.Layout.fsinfo_vbn_primary junk;
+  let fs2 = Fs.mount vol in
+  checks "backup copy used" "resilient" (Fs.read fs2 "/x" ~offset:0 ~len:9)
+
+let test_volume_full () =
+  let fs, _ = make_fs ~blocks:512 () in
+  ignore (Fs.create fs "/filler" ~perms:0o644);
+  try
+    for i = 0 to 1000 do
+      Fs.write fs "/filler" ~offset:(i * 4096) (String.make 4096 'f');
+      if i mod 32 = 0 then Fs.cp fs
+    done;
+    Alcotest.fail "expected volume-full error"
+  with Fs.Error _ -> ()
+
+(* Model-based property: arbitrary interleavings of writes and truncates
+   against one file must agree with a plain byte-buffer model, including
+   across a CP + remount. *)
+type file_op = Write of int * string | Trunc of int
+
+let gen_file_ops =
+  QCheck2.Gen.(
+    list_size (int_range 1 25)
+      (oneof
+         [
+           map2
+             (fun off s -> Write (off, s))
+             (int_bound 120_000)
+             (string_size ~gen:(char_range 'a' 'z') (int_range 1 9000));
+           map (fun n -> Trunc n) (int_bound 130_000);
+         ]))
+
+let prop_file_model =
+  QCheck2.Test.make ~count:30 ~name:"fs file ops agree with byte-buffer model"
+    gen_file_ops (fun ops ->
+      let fs, vol = make_fs ~blocks:16384 () in
+      ignore (Fs.create fs "/m" ~perms:0o644);
+      let model = Buffer.create 1024 in
+      let model_contents () = Buffer.contents model in
+      let model_set s =
+        Buffer.clear model;
+        Buffer.add_string model s
+      in
+      List.iter
+        (fun op ->
+          match op with
+          | Write (off, data) ->
+            Fs.write fs "/m" ~offset:off data;
+            let cur = model_contents () in
+            let len = Stdlib.max (String.length cur) (off + String.length data) in
+            let b = Bytes.make len '\000' in
+            Bytes.blit_string cur 0 b 0 (String.length cur);
+            Bytes.blit_string data 0 b off (String.length data);
+            model_set (Bytes.to_string b)
+          | Trunc size ->
+            Fs.truncate fs "/m" ~size;
+            let cur = model_contents () in
+            if size <= String.length cur then model_set (String.sub cur 0 size)
+            else model_set (cur ^ String.make (size - String.length cur) '\000'))
+        ops;
+      let expect = model_contents () in
+      let live = Fs.read fs "/m" ~offset:0 ~len:(String.length expect + 10) in
+      if not (String.equal live expect) then false
+      else begin
+        (* survives commit + remount *)
+        Fs.cp fs;
+        let fs2 = Fs.mount vol in
+        String.equal expect
+          (Fs.read fs2 "/m" ~offset:0 ~len:(String.length expect + 10))
+      end)
+
+(* Damage on-disk metadata underneath the file system, then let
+   fsck_repair put it right. *)
+let test_fsck_repair () =
+  let fs, vol = make_fs () in
+  ignore (Fs.mkdir fs "/d" ~perms:0o755);
+  ignore (Fs.create fs "/d/f" ~perms:0o644);
+  Fs.write fs "/d/f" ~offset:0 "content";
+  Fs.cp fs;
+  let view = Fs.active_view fs in
+  (* 1. dangling dirent: splice an entry to a free inode into /d's block *)
+  let d_ino = Option.get (Fs.View.lookup view "/d") in
+  let d_vbn = Option.get (Fs.View.block_address view d_ino 0) in
+  let dir_block = Volume.read vol d_vbn in
+  let damaged =
+    Option.get (Repro_wafl.Dir.add dir_block "ghost" (Fs.max_inodes fs - 1))
+  in
+  Volume.write vol d_vbn damaged;
+  (* 2. leaked block: set a free vbn's active bit in the on-disk block map *)
+  let bm_vbn = Option.get (Fs.View.block_address view Repro_wafl.Layout.blockmap_ino 0) in
+  let bm_block = Volume.read vol bm_vbn in
+  let victim_vbn =
+    (* find a word that is zero within this block-map block *)
+    let rec find i =
+      if i >= 1024 then Alcotest.fail "no free vbn in first map block"
+      else if Bytes.get_int32_le bm_block (i * 4) = 0l then i
+      else find (i + 1)
+    in
+    find 2
+  in
+  Bytes.set_int32_le bm_block (victim_vbn * 4) 1l;
+  Volume.write vol bm_vbn bm_block;
+  (* remount to pick the damage up from disk *)
+  Fs.crash fs;
+  let fs2 = Fs.mount vol in
+  (match Fs.fsck fs2 with
+  | Ok () -> Alcotest.fail "fsck should have found the damage"
+  | Error problems -> checkb "problems found" true (List.length problems >= 2));
+  let repairs = Fs.fsck_repair fs2 in
+  checkb (Printf.sprintf "repairs made (%d)" (List.length repairs)) true
+    (List.length repairs >= 2);
+  fsck_clean fs2;
+  (* the healthy data is untouched *)
+  checks "file survives repair" "content" (Fs.read fs2 "/d/f" ~offset:0 ~len:7);
+  checkb "ghost gone" true (Fs.lookup fs2 "/d/ghost" = None)
+
+let test_snapshot_schedule () =
+  let module Schedule = Repro_wafl.Schedule in
+  let fs, vol = make_fs ~blocks:16384 () in
+  ignore (Fs.create fs "/work.txt" ~perms:0o644);
+  let sched = Schedule.create fs in
+  let hour = 3600.0 in
+  (* three simulated days, ticking hourly; write each "day" so snapshots
+     capture distinct states *)
+  for h = 1 to 72 do
+    let now = Float.of_int h *. hour in
+    if h mod 24 = 1 then
+      Fs.write fs "/work.txt" ~offset:0 (Printf.sprintf "day %d" (1 + (h / 24)));
+    ignore (Schedule.tick sched ~now)
+  done;
+  let hourlies = Schedule.hourlies sched in
+  let nightlies = Schedule.nightlies sched in
+  checkb
+    (Printf.sprintf "6 hourlies kept (got %d)" (List.length hourlies))
+    true
+    (List.length hourlies = 6);
+  checkb
+    (Printf.sprintf "2 nightlies kept (got %d)" (List.length nightlies))
+    true
+    (List.length nightlies = 2);
+  (* every retained snapshot is readable *)
+  List.iter
+    (fun name ->
+      let v = Fs.snapshot_view fs name in
+      ignore (Option.get (Fs.View.lookup v "/work.txt")))
+    (hourlies @ nightlies);
+  (* the schedule survives a remount *)
+  Fs.cp fs;
+  let fs2 = Fs.mount vol in
+  let sched2 = Schedule.create fs2 in
+  ignore (Schedule.tick sched2 ~now:(80.0 *. hour));
+  checkb "still bounded after adoption" true
+    (List.length (Schedule.hourlies sched2) <= 6);
+  (* manual snapshots are never touched *)
+  Fs.snapshot_create fs2 "keep-me";
+  for h = 81 to 120 do
+    ignore (Schedule.tick sched2 ~now:(Float.of_int h *. hour))
+  done;
+  checkb "manual snapshot untouched" true
+    (List.exists (fun s -> s.Fs.name = "keep-me") (Fs.snapshots fs2));
+  fsck_clean fs2
+
+(* Randomized crash consistency: run the same seeded op soup against a
+   reference file system (never crashed) and a victim that crashes at a
+   random point and remounts with NVRAM. Replay must make the victim equal
+   to the reference, and fsck must be clean — the paper's §2.2 recovery
+   story. *)
+let test_crash_consistency_randomized () =
+  let module Compare = Repro_workload.Compare in
+  for seed = 1 to 6 do
+    let rng = Prng.create (1000 + seed) in
+    let ref_fs, _ = make_fs () in
+    let nvram = Nvram.create () in
+    let vic_vol = make_vol () in
+    let vic_fs = ref (Fs.mkfs ~nvram vic_vol) in
+    let crash_at = Prng.int_in rng 10 80 in
+    let dirs = ref [ "/" ] in
+    let files = ref [] in
+    let apply fs op_idx =
+      match Prng.int (Prng.create (seed * 10_000 + op_idx)) 9 with
+      | 0 ->
+        let parent = List.nth !dirs 0 in
+        let d = (if parent = "/" then "" else parent) ^ "/dir" ^ string_of_int op_idx in
+        if Fs.lookup fs d = None then ignore (Fs.mkdir fs d ~perms:0o755)
+      | 1 | 2 | 3 ->
+        let parent = List.nth !dirs (op_idx mod List.length !dirs) in
+        let f = (if parent = "/" then "" else parent) ^ "/f" ^ string_of_int op_idx in
+        if Fs.lookup fs f = None then begin
+          ignore (Fs.create fs f ~perms:0o644);
+          Fs.write fs f ~offset:0 (String.init (100 * op_idx mod 9000) (fun i -> Char.chr ((i + op_idx) mod 256)))
+        end
+      | 4 | 5 -> (
+        match !files with
+        | f :: _ when Fs.lookup fs f <> None ->
+          Fs.write fs f ~offset:(op_idx mod 3 * 4096) ("upd" ^ string_of_int op_idx)
+        | _ -> ())
+      | 6 -> (
+        match !files with
+        | f :: _ when Fs.lookup fs f <> None -> Fs.unlink fs f
+        | _ -> ())
+      | 7 -> if op_idx mod 4 = 0 then Fs.cp fs
+      | _ -> (
+        match !files with
+        | f :: _ when Fs.lookup fs f <> None ->
+          Fs.set_xattr fs f ~name:"k" ~value:(string_of_int op_idx)
+        | _ -> ())
+    in
+    (* track namespace on the side so both systems see identical ops *)
+    let record op_idx =
+      (match Prng.int (Prng.create (seed * 10_000 + op_idx)) 9 with
+      | 0 ->
+        let parent = List.nth !dirs 0 in
+        let d = (if parent = "/" then "" else parent) ^ "/dir" ^ string_of_int op_idx in
+        if not (List.mem d !dirs) then dirs := !dirs @ [ d ]
+      | 1 | 2 | 3 ->
+        let parent = List.nth !dirs (op_idx mod List.length !dirs) in
+        let f = (if parent = "/" then "" else parent) ^ "/f" ^ string_of_int op_idx in
+        if not (List.mem f !files) then files := f :: !files
+      | 6 -> (match !files with _ :: rest -> files := rest | [] -> ())
+      | _ -> ())
+    in
+    for op_idx = 0 to 100 do
+      (* reference first: the side-tracking must be identical for both *)
+      let snapshot_dirs = !dirs and snapshot_files = !files in
+      apply ref_fs op_idx;
+      dirs := snapshot_dirs;
+      files := snapshot_files;
+      apply !vic_fs op_idx;
+      record op_idx;
+      if op_idx = crash_at then begin
+        Fs.crash !vic_fs;
+        vic_fs := Fs.mount ~nvram vic_vol
+      end
+    done;
+    (match Compare.trees ~src:(ref_fs, "/") ~dst:(!vic_fs, "/") () with
+    | Ok () -> ()
+    | Error d ->
+      Alcotest.failf "seed %d (crash at %d): %s" seed crash_at (String.concat "; " d));
+    fsck_clean !vic_fs
+  done
+
+let suite =
+  [
+    ("mkfs and mount", `Quick, test_mkfs_mount);
+    ("create, write, read", `Quick, test_create_write_read);
+    ("large and sparse files (indirects)", `Quick, test_large_file_indirect);
+    ("directory trees", `Quick, test_mkdir_tree);
+    ("unlink and rmdir", `Quick, test_unlink_rmdir);
+    ("hard links", `Quick, test_hard_links);
+    ("symbolic links", `Quick, test_symlinks);
+    ("rename onto own link", `Quick, test_rename_onto_own_link);
+    ("rename", `Quick, test_rename);
+    ("truncate", `Quick, test_truncate);
+    ("persistence across mounts", `Quick, test_persistence_across_mounts);
+    ("crash loses uncommitted work", `Quick, test_crash_loses_uncommitted);
+    ("nvram replay", `Quick, test_nvram_replay);
+    ("nvram failure keeps consistency", `Quick, test_nvram_failure_keeps_consistency);
+    ("snapshot basic", `Quick, test_snapshot_basic);
+    ("snapshot protects deleted file", `Quick, test_snapshot_protects_deleted_file);
+    ("snapshot delete frees blocks", `Quick, test_snapshot_delete_frees);
+    ("snapshot persists across mount", `Quick, test_snapshot_persists_across_mount);
+    ("snapshot limit", `Quick, test_snapshot_limit);
+    ("extended attributes", `Quick, test_xattrs);
+    ("quota trees", `Quick, test_qtrees);
+    ("quota accounting and enforcement", `Quick, test_qtree_quotas);
+    ("auto consistency points", `Quick, test_auto_cp);
+    ("error cases", `Quick, test_errors);
+    ("fsinfo torn-write recovery", `Quick, test_fsinfo_torn_write);
+    ("volume full", `Quick, test_volume_full);
+    ("fsck repairs metadata damage", `Quick, test_fsck_repair);
+    ("snapshot schedule (4-hourly + nightly)", `Quick, test_snapshot_schedule);
+    ("randomized crash consistency", `Slow, test_crash_consistency_randomized);
+  ]
+
+let () =
+  Alcotest.run "wafl"
+    [
+      ("fs", suite);
+      ("properties", [ QCheck_alcotest.to_alcotest ~long:false prop_file_model ]);
+    ]
