@@ -22,6 +22,7 @@ module Volume = Repro_block.Volume
 module Disk = Repro_block.Disk
 module Raid = Repro_block.Raid
 module Library = Repro_tape.Library
+module Tape = Repro_tape.Tape
 module Tapeio = Repro_tape.Tapeio
 module Fs = Repro_wafl.Fs
 module Blockmap = Repro_wafl.Blockmap
@@ -32,6 +33,8 @@ module Image_restore = Repro_image.Image_restore
 module Generator = Repro_workload.Generator
 module Ager = Repro_workload.Ager
 module Bitmap = Repro_util.Bitmap
+module Fault = Repro_fault.Fault
+module Retry = Repro_fault.Retry
 
 let ppf = Format.std_formatter
 let say fmt = Format.fprintf ppf (fmt ^^ "@.")
@@ -380,8 +383,77 @@ let run_microbenchmarks () =
     (List.sort compare rows);
   say ""
 
+(* ------------------------------------------------------------------ *)
+(* Part 4: fault-plane overhead                                        *)
+
+(* The claim in docs/FAULTS.md: an armed-but-idle fault plane plus the
+   engine's retry wrappers cost under 1% on the Table 2 dump pass. The
+   hooks are a load-and-branch when nothing is planned for the device,
+   so the overhead should be lost in the noise; measure it rather than
+   assert it. Minimum-of-N is used on both sides to shave scheduler
+   noise off a difference this small. *)
+let run_faults () =
+  say "============================================================";
+  say " Part 4: fault-plane overhead (Table 2 dump pass)";
+  say "============================================================@.";
+  let view = Fs.snapshot_view fixture_fs "bench" in
+  let dump_once () =
+    let lib = Library.create ~slots:8 ~label:"fovh" () in
+    ignore
+      (Dump.run ~view ~subtree:"/data" ~label:"bench" ~date:(Fs.now fixture_fs)
+         ~sink:(Tapeio.sink lib) ());
+    Tape.busy_seconds (Library.drive lib)
+  in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    ignore (Sys.opaque_identity (f ()));
+    Unix.gettimeofday () -. t0
+  in
+  let iters = 60 in
+  let plane = Fault.plan [] in
+  let armed_sim = ref 0.0 in
+  let armed_once () =
+    Fault.with_armed plane (fun () ->
+        armed_sim := Retry.run ~label:"bench" dump_once)
+  in
+  (* warm caches (file system LRU, allocator) before either side is timed,
+     then interleave the two sides so drift cancels instead of biasing
+     whichever ran second *)
+  let bare_sim = ref 0.0 in
+  for _ = 1 to 5 do
+    bare_sim := dump_once ();
+    armed_once ()
+  done;
+  let bare = ref infinity and armed = ref infinity in
+  for _ = 1 to iters do
+    bare := Float.min !bare (time dump_once);
+    armed := Float.min !armed (time armed_once)
+  done;
+  let bare = !bare and armed = !armed and bare_sim = !bare_sim in
+  let overhead = (armed -. bare) /. bare *. 100.0 in
+  say "  disarmed dump pass:          %8.3f ms (best of %d)" (bare *. 1e3) iters;
+  say "  armed idle plane + Retry.run:%8.3f ms (best of %d)" (armed *. 1e3) iters;
+  say "  wall-clock overhead:         %8.2f %%  (budget: < 1%%)" overhead;
+  say "  simulated tape seconds:      %.6f vs %.6f (%s)" bare_sim !armed_sim
+    (if Float.equal bare_sim !armed_sim then "identical — plane is neutral"
+     else "DIFFER: idle plane perturbed the model!");
+  say "  plane events injected:       %d@." (Fault.injected plane)
+
+let usage () =
+  say "usage: main [all|tables|ablations|micro|faults]";
+  exit 2
+
 let () =
-  run_tables ();
-  run_ablations ();
-  run_microbenchmarks ();
-  say "bench: all parts complete."
+  let part = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
+  match part with
+  | "all" ->
+    run_tables ();
+    run_ablations ();
+    run_microbenchmarks ();
+    run_faults ();
+    say "bench: all parts complete."
+  | "tables" -> run_tables ()
+  | "ablations" -> run_ablations ()
+  | "micro" -> run_microbenchmarks ()
+  | "faults" -> run_faults ()
+  | _ -> usage ()

@@ -24,6 +24,9 @@ module Restore = Repro_dump.Restore
 module Store = Repro_backup.Store
 module Generator = Repro_workload.Generator
 module Ager = Repro_workload.Ager
+module Fault = Repro_fault.Fault
+module Report = Repro_backup.Report
+module Disk = Repro_block.Disk
 
 open Cmdliner
 
@@ -272,16 +275,28 @@ let strategy_conv =
   in
   Arg.conv (parse, Strategy.pp)
 
+let streams_str (e : Catalog.entry) =
+  String.concat "," (List.map string_of_int e.Catalog.streams)
+
+let report_entry (e : Catalog.entry) =
+  say "backup #%d: %a level %d of %s — %d bytes on drive %d stream%s %s [%s]%s"
+    e.Catalog.id Strategy.pp e.Catalog.strategy e.Catalog.level e.Catalog.label
+    e.Catalog.bytes e.Catalog.drive
+    (if List.length e.Catalog.streams > 1 then "s" else "")
+    (streams_str e)
+    (String.concat "," e.Catalog.media)
+    (if e.Catalog.degraded > 0 then
+       Printf.sprintf " — DEGRADED: %d unreadable file(s) skipped" e.Catalog.degraded
+     else "")
+
 let cmd_backup =
-  let run store strategy level subtree drive =
+  let run store strategy level subtree drive parts resume =
     handle (fun () ->
         with_store store (fun engine ->
-            let entry = Engine.backup engine ~strategy ?level ~subtree ~drive () in
-            say "backup #%d: %a level %d of %s — %d bytes on drive %d stream %d [%s]"
-              entry.Catalog.id Strategy.pp entry.Catalog.strategy entry.Catalog.level
-              entry.Catalog.label entry.Catalog.bytes entry.Catalog.drive
-              entry.Catalog.stream
-              (String.concat "," entry.Catalog.media);
+            let entry =
+              Engine.backup engine ~strategy ?level ~subtree ~drive ~parts ~resume ()
+            in
+            report_entry entry;
             true))
   in
   let strategy =
@@ -297,9 +312,23 @@ let cmd_backup =
     Arg.(value & opt string "/" & info [ "subtree" ] ~doc:"Subtree (logical only).")
   in
   let drive = Arg.(value & opt int 0 & info [ "drive" ] ~doc:"Stacker index.") in
+  let parts =
+    Arg.(
+      value & opt int 1
+      & info [ "parts" ]
+          ~doc:"Split the job into this many independent tape streams.")
+  in
+  let resume =
+    Arg.(
+      value & flag
+      & info [ "resume" ]
+          ~doc:
+            "Resume the interrupted backup of this label: only unfinished parts \
+             are dumped.")
+  in
   Cmd.v
     (Cmd.info "backup" ~doc:"Run a backup")
-    Term.(const run $ store_arg $ strategy $ level $ subtree $ drive)
+    Term.(const run $ store_arg $ strategy $ level $ subtree $ drive $ parts $ resume)
 
 let cmd_catalog =
   let run store =
@@ -309,12 +338,23 @@ let cmd_catalog =
               "bytes" "drive" "strm" "media";
             List.iter
               (fun (e : Catalog.entry) ->
-                say "%-4d %-9s %-14s %5d %12d %6d %6d  %s" e.Catalog.id
+                say "%-4d %-9s %-14s %5d %12d %6d %6s  %s%s" e.Catalog.id
                   (Strategy.to_string e.Catalog.strategy)
                   e.Catalog.label e.Catalog.level e.Catalog.bytes e.Catalog.drive
-                  e.Catalog.stream
-                  (String.concat "," e.Catalog.media))
+                  (streams_str e)
+                  (String.concat "," e.Catalog.media)
+                  (if e.Catalog.degraded > 0 then
+                     Printf.sprintf "  [degraded: %d]" e.Catalog.degraded
+                   else ""))
               (Catalog.entries (Engine.catalog engine));
+            List.iter
+              (fun (ck : Catalog.checkpoint) ->
+                say "in-flight: %s %s level %d — %d/%d parts done (backup --resume)"
+                  (Strategy.to_string ck.Catalog.ck_strategy)
+                  ck.Catalog.ck_label ck.Catalog.ck_level
+                  (List.length ck.Catalog.ck_done)
+                  ck.Catalog.ck_parts)
+              (Catalog.checkpoints (Engine.catalog engine));
             false))
   in
   Cmd.v (Cmd.info "catalog" ~doc:"Show the backup catalog") Term.(const run $ store_arg)
@@ -402,6 +442,144 @@ let cmd_verify =
   Cmd.v
     (Cmd.info "verify" ~doc:"Checksum-verify the physical backup chain")
     Term.(const run $ store_arg $ label)
+
+(* ------------------------------ faults ------------------------------- *)
+
+(* One --inject flag per fault, colon-separated mini-DSL (devices: disks
+   are "filer.rg<G>.d<I>", tape drives "stacker<N>", the volume "filer",
+   NVRAM "nvram"). *)
+let inject_conv =
+  let fail s = Error (`Msg (Printf.sprintf "bad fault spec %S" s)) in
+  let parse s =
+    let int v = int_of_string_opt v in
+    match String.split_on_char ':' s with
+    | [ "lse"; dev; a ] -> (
+      match int a with
+      | Some addr -> Ok (Fault.Latent_sector_error { device = dev; addr })
+      | None -> fail s)
+    | [ "flaky"; dev; n; p ] -> (
+      match (int n, float_of_string_opt p) with
+      | Some failures, Some prob -> Ok (Fault.Flaky_reads { device = dev; failures; prob })
+      | _ -> fail s)
+    | [ "disk-death"; dev; n ] -> (
+      match int n with
+      | Some after_ios -> Ok (Fault.Disk_death { device = dev; after_ios })
+      | None -> fail s)
+    | [ "tape-soft"; dev; op; n ] -> (
+      match (op, int n) with
+      | "read", Some failures ->
+        Ok (Fault.Tape_soft_errors { device = dev; op = `Read; failures })
+      | "write", Some failures ->
+        Ok (Fault.Tape_soft_errors { device = dev; op = `Write; failures })
+      | _ -> fail s)
+    | [ "tape-hard"; dev; r ] -> (
+      match int r with
+      | Some record -> Ok (Fault.Tape_hard_error { device = dev; record })
+      | None -> fail s)
+    | [ "tape-death"; dev; n ] -> (
+      match int n with
+      | Some after_records -> Ok (Fault.Tape_drive_death { device = dev; after_records })
+      | None -> fail s)
+    | [ "nvram-loss"; dev; n ] -> (
+      match int n with
+      | Some after_ops -> Ok (Fault.Nvram_loss { device = dev; after_ops })
+      | None -> fail s)
+    | [ "torn-fsinfo"; dev ] -> Ok (Fault.Torn_fsinfo_write { device = dev })
+    | _ -> fail s
+  in
+  let print ppf (spec : Fault.spec) =
+    match spec with
+    | Fault.Latent_sector_error { device; addr } ->
+      Format.fprintf ppf "lse:%s:%d" device addr
+    | Fault.Flaky_reads { device; failures; prob } ->
+      Format.fprintf ppf "flaky:%s:%d:%g" device failures prob
+    | Fault.Disk_death { device; after_ios } ->
+      Format.fprintf ppf "disk-death:%s:%d" device after_ios
+    | Fault.Tape_soft_errors { device; op; failures } ->
+      Format.fprintf ppf "tape-soft:%s:%s:%d" device
+        (match op with `Read -> "read" | `Write -> "write")
+        failures
+    | Fault.Tape_hard_error { device; record } ->
+      Format.fprintf ppf "tape-hard:%s:%d" device record
+    | Fault.Tape_drive_death { device; after_records } ->
+      Format.fprintf ppf "tape-death:%s:%d" device after_records
+    | Fault.Nvram_loss { device; after_ops } ->
+      Format.fprintf ppf "nvram-loss:%s:%d" device after_ops
+    | Fault.Torn_fsinfo_write { device } -> Format.fprintf ppf "torn-fsinfo:%s" device
+  in
+  Arg.conv (parse, print)
+
+let cmd_fault =
+  let run store strategy level subtree drive parts seed injects revive =
+    handle (fun () ->
+        with_store store (fun engine ->
+            let plane = Fault.plan ~seed injects in
+            Fault.with_armed plane (fun () ->
+                (match
+                   Engine.backup engine ~strategy ?level ~subtree ~drive ~parts ()
+                 with
+                | entry -> report_entry entry
+                | exception
+                    (( Fault.Drive_dead _ | Fault.Media_error _ | Fault.Transient _
+                     | Disk.Disk_failed _ | Fs.Error _ ) as e) ->
+                  say "backup interrupted: %s" (Printexc.to_string e);
+                  if revive then begin
+                    List.iter
+                      (fun spec ->
+                        match spec with
+                        | Fault.Tape_drive_death { device; _ }
+                          when Fault.dead plane ~device ->
+                          Fault.revive plane ~device
+                        | _ -> ())
+                      injects;
+                    report_entry
+                      (Engine.backup engine ~strategy ~subtree ~resume:true ())
+                  end);
+                Report.faults Format.std_formatter ~plane ~engine);
+            true))
+  in
+  let strategy =
+    Arg.(
+      required
+      & opt (some strategy_conv) None
+      & info [ "strategy" ] ~doc:"logical or physical.")
+  in
+  let level =
+    Arg.(value & opt (some int) None & info [ "level" ] ~doc:"Dump level (0-9).")
+  in
+  let subtree =
+    Arg.(value & opt string "/" & info [ "subtree" ] ~doc:"Subtree (logical only).")
+  in
+  let drive = Arg.(value & opt int 0 & info [ "drive" ] ~doc:"Stacker index.") in
+  let parts =
+    Arg.(value & opt int 1 & info [ "parts" ] ~doc:"Independent tape streams.")
+  in
+  let seed = Arg.(value & opt int 0 & info [ "seed" ] ~doc:"Fault-plan PRNG seed.") in
+  let injects =
+    Arg.(
+      value & opt_all inject_conv []
+      & info [ "inject" ] ~docv:"SPEC"
+          ~doc:
+            "Fault to inject (repeatable): lse:DEV:ADDR, flaky:DEV:N:PROB, \
+             disk-death:DEV:N, tape-soft:DEV:read|write:N, tape-hard:DEV:REC, \
+             tape-death:DEV:N, nvram-loss:DEV:N, torn-fsinfo:DEV. Disks are \
+             filer.rg<G>.d<I>, tape drives stacker<N>, the volume filer, NVRAM \
+             nvram.")
+  in
+  let revive =
+    Arg.(
+      value & flag
+      & info [ "revive" ]
+          ~doc:
+            "If a hard fault interrupts the backup, revive dead tape drives and \
+             resume the job.")
+  in
+  Cmd.v
+    (Cmd.info "fault"
+       ~doc:"Run a backup drill under an armed fault plan and print the journal")
+    Term.(
+      const run $ store_arg $ strategy $ level $ subtree $ drive $ parts $ seed
+      $ injects $ revive)
 
 let cmd_quota =
   let run store action path limit =
@@ -606,4 +784,5 @@ let () =
             cmd_browse;
             cmd_disaster;
             cmd_verify;
+            cmd_fault;
           ]))

@@ -70,8 +70,18 @@ let charge t dbn nbytes =
   | Some r -> Repro_sim.Resource.charge r ~bytes:nbytes (service *. t.service_scale)
   | None -> ()
 
+(* A plane-scheduled death surfaces exactly like an operator-called
+   {!fail}: the disk enters its failed state and raises [Disk_failed], so
+   RAID's degraded paths take over. *)
+let hook t f =
+  try f () with
+  | Repro_fault.Fault.Drive_dead _ ->
+    t.is_failed <- true;
+    raise (Disk_failed t.label)
+
 let read t dbn =
   check_access t dbn;
+  hook t (fun () -> Repro_fault.Fault.on_disk_read ~device:t.label ~addr:dbn);
   t.reads <- t.reads + 1;
   charge t dbn Block.size;
   match t.data.(dbn) with Some b -> Bytes.copy b | None -> Block.zero ()
@@ -79,6 +89,7 @@ let read t dbn =
 let write t dbn b =
   Block.check b;
   check_access t dbn;
+  hook t (fun () -> Repro_fault.Fault.on_disk_write ~device:t.label ~addr:dbn);
   t.writes <- t.writes + 1;
   charge t dbn Block.size;
   t.data.(dbn) <- Some (Bytes.copy b)

@@ -33,10 +33,19 @@ val capacity : t -> int
 
 val read : t -> int -> bytes
 (** [read d dbn] returns a fresh copy of block [dbn] (all zeros if never
-    written). Raises [Invalid_argument] if out of range or the disk has
-    {!fail}ed. *)
+    written). Raises [Disk_failed] if the disk has {!fail}ed — a device
+    fault the RAID layer handles — and [Invalid_argument] only on an
+    out-of-range [dbn], which is a programmer error. An armed fault plane
+    ({!Repro_fault.Fault}) may additionally raise
+    [Repro_fault.Fault.Media_error] (latent sector error) or
+    [Repro_fault.Fault.Transient] (timeout); a plane-scheduled drive death
+    fails the disk and raises [Disk_failed]. *)
 
 val write : t -> int -> bytes -> unit
+(** Same failure contract as {!read}: [Disk_failed] on a failed drive,
+    [Invalid_argument] on a bad address. A successful write clears any
+    injected latent sector error at that address (the RAID repair
+    path). *)
 
 exception Disk_failed of string
 

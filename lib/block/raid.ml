@@ -1,4 +1,11 @@
-type t = { label : string; disks : Disk.t array; blocks_per_disk : int }
+module Fault = Repro_fault.Fault
+
+type t = {
+  label : string;
+  disks : Disk.t array;
+  blocks_per_disk : int;
+  mutable media_repairs : int;
+}
 
 let create ?resource ?(service_scale = 1.0) ~label ~ndisks ~blocks_per_disk params =
   if ndisks < 3 then invalid_arg "Raid.create: need at least 3 disks";
@@ -10,7 +17,7 @@ let create ?resource ?(service_scale = 1.0) ~label ~ndisks ~blocks_per_disk para
           ~label:(Printf.sprintf "%s.d%d" label i)
           params)
   in
-  { label; disks; blocks_per_disk }
+  { label; disks; blocks_per_disk; media_repairs = 0 }
 
 let label t = t.label
 let ndisks t = Array.length t.disks
@@ -40,25 +47,60 @@ let reconstruct t ~missing stripe =
     t.disks;
   acc
 
+(* Read one disk's block in [stripe] with single-fault recovery:
+   - a drive that fails mid-I/O is served degraded, like a disk already
+     known dead;
+   - a media error (one unreadable sector) is REPAIRED: reconstruct the
+     block from the surviving disks and rewrite it in place, which remaps
+     the bad sector. A second fault during reconstruction propagates —
+     that block is genuinely lost.
+   Transient timeouts pass through untouched; retry is the engine's job. *)
+let read_disk_repairing t di stripe =
+  let disk = t.disks.(di) in
+  match Disk.read disk stripe with
+  | b -> b
+  | exception Disk.Disk_failed _ -> reconstruct t ~missing:di stripe
+  | exception Fault.Media_error { device; addr } ->
+    let b =
+      try reconstruct t ~missing:di stripe
+      with Disk.Disk_failed _ ->
+        (* double fault: a reconstruction source is missing too, so the
+           block really is lost — surface it as the media error it is *)
+        raise (Fault.Media_error { device; addr })
+    in
+    (try Disk.write disk stripe b
+     with Disk.Disk_failed _ -> () (* died before the rewrite: serve degraded *));
+    t.media_repairs <- t.media_repairs + 1;
+    Fault.note_repair ~device ~addr;
+    Bytes.copy b
+
+let media_repairs t = t.media_repairs
+
 let read t gbn =
   let stripe, di = stripe_of_gbn t gbn in
   let disk = t.disks.(di) in
-  if Disk.failed disk then reconstruct t ~missing:di stripe else Disk.read disk stripe
+  if Disk.failed disk then reconstruct t ~missing:di stripe
+  else read_disk_repairing t di stripe
 
-let write t gbn b =
+let rec write t gbn b =
   Block.check b;
   let stripe, di = stripe_of_gbn t gbn in
   let data_disk = t.disks.(di) in
   let parity_disk = t.disks.(parity_index t) in
   match (Disk.failed data_disk, Disk.failed parity_disk) with
-  | false, false ->
-    (* Read-modify-write: parity ^= old_data ^ new_data. *)
-    let old_data = Disk.read data_disk stripe in
-    let parity = Disk.read parity_disk stripe in
-    xor_into parity old_data;
-    xor_into parity b;
-    Disk.write data_disk stripe b;
-    Disk.write parity_disk stripe parity
+  | false, false -> (
+    (* Read-modify-write: parity ^= old_data ^ new_data. A drive dying
+       mid-RMW re-dispatches through the degraded cases; nothing has been
+       written yet when the data write fails, and a lost parity write lands
+       in the same state as the parity-dead case. *)
+    try
+      let old_data = read_disk_repairing t di stripe in
+      let parity = read_disk_repairing t (parity_index t) stripe in
+      xor_into parity old_data;
+      xor_into parity b;
+      Disk.write data_disk stripe b;
+      Disk.write parity_disk stripe parity
+    with Disk.Disk_failed _ -> write t gbn b)
   | true, false ->
     (* Degraded write: fold the new data into parity computed from the
        surviving data disks. *)

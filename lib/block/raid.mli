@@ -33,11 +33,21 @@ val disks : t -> Disk.t array
 (** Index [ndisks - 1] is the parity disk. *)
 
 val read : t -> int -> bytes
-(** Reads via parity reconstruction if the data disk has failed. Raises
-    [Disk.Disk_failed] if two disks are down. *)
+(** Reads via parity reconstruction if the data disk has failed. A
+    single-block media error ([Repro_fault.Fault.Media_error]) is repaired
+    in place: the block is reconstructed from parity, rewritten to the disk
+    (remapping the bad sector), counted in {!media_repairs}, and served.
+    Raises [Disk.Disk_failed] if two disks are down, and [Media_error]
+    itself only on a double fault (a media error with another disk already
+    missing). *)
 
 val write : t -> int -> bytes -> unit
-(** Read-modify-write parity update (up to 4 disk I/Os). *)
+(** Read-modify-write parity update (up to 4 disk I/Os). Media errors on
+    the pre-read are repaired as in {!read}; a drive dying mid-operation
+    falls back to the degraded write path. *)
+
+val media_repairs : t -> int
+(** Blocks repaired from parity after a media error. *)
 
 val write_stripe : t -> int -> bytes array -> unit
 (** [write_stripe t stripe data] writes all [n-1] data blocks of a stripe

@@ -129,6 +129,9 @@ let busy_seconds t =
 let bytes_moved t = fold_disks (fun acc d -> acc + Disk.bytes_moved d) 0 t
 let seeks t = fold_disks (fun acc d -> acc + Disk.seeks d) 0 t
 
+let media_repairs t =
+  Array.fold_left (fun acc g -> acc + Raid.media_repairs g) 0 t.rgroups
+
 let reset_stats t =
   fold_disks
     (fun () d ->

@@ -60,4 +60,9 @@ val busy_seconds : t -> float
 
 val bytes_moved : t -> int
 val seeks : t -> int
+
+val media_repairs : t -> int
+(** Blocks repaired from parity after media errors, summed over the RAID
+    groups (see {!Raid.media_repairs}). *)
+
 val reset_stats : t -> unit

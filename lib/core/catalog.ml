@@ -7,14 +7,36 @@ type entry = {
   bytes : int;
   drive : int;
   stream : int;
+  streams : int list;
   media : string list;
   snapshot : string;
   base_snapshot : string;
+  degraded : int;
 }
 
-type t = { mutable next_id : int; mutable items : entry list (* newest first *) }
+type part_done = { part : int; stream : int; bytes : int; degraded : int }
 
-let create () = { next_id = 1; items = [] }
+type checkpoint = {
+  ck_strategy : Strategy.t;
+  ck_label : string;
+  ck_level : int;
+  ck_date : float;
+  ck_subtree : string;
+  ck_drive : int;
+  ck_parts : int;
+  ck_snapshot : string;
+  ck_base_snapshot : string;
+  ck_media : string list;
+  ck_done : part_done list; (* ascending part order *)
+}
+
+type t = {
+  mutable next_id : int;
+  mutable items : entry list; (* newest first *)
+  mutable checkpoints : checkpoint list; (* keyed (strategy, label) *)
+}
+
+let create () = { next_id = 1; items = []; checkpoints = [] }
 
 let add t entry =
   let entry = { entry with id = t.next_id } in
@@ -24,6 +46,25 @@ let add t entry =
 
 let entries t = List.rev t.items
 let find t ~id = List.find_opt (fun e -> e.id = id) t.items
+
+let ck_matches ~strategy ~label ck =
+  ck.ck_strategy = strategy && String.equal ck.ck_label label
+
+let set_checkpoint t ck =
+  t.checkpoints <-
+    ck
+    :: List.filter
+         (fun c -> not (ck_matches ~strategy:ck.ck_strategy ~label:ck.ck_label c))
+         t.checkpoints
+
+let find_checkpoint t ~strategy ~label =
+  List.find_opt (ck_matches ~strategy ~label) t.checkpoints
+
+let clear_checkpoint t ~strategy ~label =
+  t.checkpoints <-
+    List.filter (fun c -> not (ck_matches ~strategy ~label c)) t.checkpoints
+
+let checkpoints t = List.rev t.checkpoints
 
 let restore_chain t ~label ~strategy =
   let matching =
@@ -62,6 +103,13 @@ let restore_chain t ~label ~strategy =
       in
       full :: chain)
 
+let strategy_byte = function Strategy.Logical -> 0 | Strategy.Physical -> 1
+
+let strategy_of_byte = function
+  | 0 -> Strategy.Logical
+  | 1 -> Strategy.Physical
+  | k -> raise (Repro_util.Serde.Corrupt (Printf.sprintf "bad strategy %d" k))
+
 let encode t =
   let open Repro_util.Serde in
   let w = writer () in
@@ -71,18 +119,44 @@ let encode t =
   List.iter
     (fun e ->
       write_u32 w e.id;
-      write_u8 w (match e.strategy with Strategy.Logical -> 0 | Strategy.Physical -> 1);
+      write_u8 w (strategy_byte e.strategy);
       write_string w e.label;
       write_u8 w e.level;
       write_u64 w (Int64.bits_of_float e.date);
       write_int w e.bytes;
       write_u16 w e.drive;
-      write_u16 w e.stream;
+      write_u16 w (List.length e.streams);
+      List.iter (fun s -> write_u16 w s) e.streams;
       write_u16 w (List.length e.media);
       List.iter (fun m -> write_string w m) e.media;
       write_string w e.snapshot;
-      write_string w e.base_snapshot)
+      write_string w e.base_snapshot;
+      write_u32 w e.degraded)
     items;
+  let cks = checkpoints t in
+  write_u16 w (List.length cks);
+  List.iter
+    (fun ck ->
+      write_u8 w (strategy_byte ck.ck_strategy);
+      write_string w ck.ck_label;
+      write_u8 w ck.ck_level;
+      write_u64 w (Int64.bits_of_float ck.ck_date);
+      write_string w ck.ck_subtree;
+      write_u16 w ck.ck_drive;
+      write_u16 w ck.ck_parts;
+      write_string w ck.ck_snapshot;
+      write_string w ck.ck_base_snapshot;
+      write_u16 w (List.length ck.ck_media);
+      List.iter (fun m -> write_string w m) ck.ck_media;
+      write_u16 w (List.length ck.ck_done);
+      List.iter
+        (fun d ->
+          write_u16 w d.part;
+          write_u16 w d.stream;
+          write_int w d.bytes;
+          write_u32 w d.degraded)
+        ck.ck_done)
+    cks;
   contents w
 
 let decode s =
@@ -93,22 +167,20 @@ let decode s =
   let items =
     List.init n (fun _ ->
         let id = read_u32 r in
-        let strategy =
-          match read_u8 r with
-          | 0 -> Strategy.Logical
-          | 1 -> Strategy.Physical
-          | k -> raise (Corrupt (Printf.sprintf "bad strategy %d" k))
-        in
+        let strategy = strategy_of_byte (read_u8 r) in
         let label = read_string r in
         let level = read_u8 r in
         let date = Int64.float_of_bits (read_u64 r) in
         let bytes = read_int r in
         let drive = read_u16 r in
-        let stream = read_u16 r in
+        let nstreams = read_u16 r in
+        let streams = List.init nstreams (fun _ -> read_u16 r) in
         let nmedia = read_u16 r in
         let media = List.init nmedia (fun _ -> read_string r) in
         let snapshot = read_string r in
         let base_snapshot = read_string r in
+        let degraded = read_u32 r in
+        let stream = match streams with s :: _ -> s | [] -> 0 in
         {
           id;
           strategy;
@@ -118,9 +190,48 @@ let decode s =
           bytes;
           drive;
           stream;
+          streams;
           media;
           snapshot;
           base_snapshot;
+          degraded;
         })
   in
-  { next_id; items = List.rev items }
+  let ncks = read_u16 r in
+  let cks =
+    List.init ncks (fun _ ->
+        let ck_strategy = strategy_of_byte (read_u8 r) in
+        let ck_label = read_string r in
+        let ck_level = read_u8 r in
+        let ck_date = Int64.float_of_bits (read_u64 r) in
+        let ck_subtree = read_string r in
+        let ck_drive = read_u16 r in
+        let ck_parts = read_u16 r in
+        let ck_snapshot = read_string r in
+        let ck_base_snapshot = read_string r in
+        let nmedia = read_u16 r in
+        let ck_media = List.init nmedia (fun _ -> read_string r) in
+        let ndone = read_u16 r in
+        let ck_done =
+          List.init ndone (fun _ ->
+              let part = read_u16 r in
+              let stream = read_u16 r in
+              let bytes = read_int r in
+              let degraded = read_u32 r in
+              { part; stream; bytes; degraded })
+        in
+        {
+          ck_strategy;
+          ck_label;
+          ck_level;
+          ck_date;
+          ck_subtree;
+          ck_drive;
+          ck_parts;
+          ck_snapshot;
+          ck_base_snapshot;
+          ck_media;
+          ck_done;
+        })
+  in
+  { next_id; items = List.rev items; checkpoints = List.rev cks }

@@ -3,7 +3,14 @@
     The operational memory a real backup system keeps so restores do not
     depend on an administrator remembering which cartridge holds which
     level. Serializable, so it can itself be stored off the protected
-    volume. *)
+    volume.
+
+    Besides completed backups, the catalog holds {e checkpoints}: progress
+    records for in-flight multi-part jobs, one per (strategy, label). A
+    checkpoint lists the parts whose streams are already sealed on tape,
+    so a job interrupted by a hard fault can resume
+    ([Engine.backup ~resume:true]) and re-dump only the unfinished
+    parts. *)
 
 type entry = {
   id : int;
@@ -12,16 +19,47 @@ type entry = {
   level : int;  (** dump level (physical: 0 = full, >0 = incremental) *)
   date : float;
   bytes : int;
-  drive : int;  (** stacker index the stream was written to *)
-  stream : int;  (** stream index on that stacker (filemark count) *)
-  media : string list;  (** cartridges the stream touches *)
+  drive : int;  (** stacker index the streams were written to *)
+  stream : int;
+      (** first stream index on that stacker (filemark count); equals
+          [List.hd streams] — kept for single-stream callers *)
+  streams : int list;
+      (** stream index of each part, in part order; a classic
+          single-stream backup has exactly one *)
+  media : string list;  (** cartridges the streams touch *)
   snapshot : string;  (** snapshot the backup captured ("" for logical) *)
   base_snapshot : string;  (** incremental base ("" if none) *)
+  degraded : int;
+      (** files skipped as unreadable during a logical dump (0 for a
+          clean dump, and always 0 for physical — an image dump fails
+          rather than degrade) *)
+}
+
+type part_done = {
+  part : int;  (** part index, 0-based *)
+  stream : int;  (** stream index its sealed data occupies *)
+  bytes : int;
+  degraded : int;
+}
+
+type checkpoint = {
+  ck_strategy : Strategy.t;
+  ck_label : string;
+  ck_level : int;
+  ck_date : float;  (** dump date of the interrupted job *)
+  ck_subtree : string;
+  ck_drive : int;
+  ck_parts : int;  (** total parts in the job *)
+  ck_snapshot : string;  (** snapshot held open for the job's duration *)
+  ck_base_snapshot : string;
+  ck_media : string list;  (** cartridges touched so far *)
+  ck_done : part_done list;  (** completed parts, ascending part order *)
 }
 
 type t
 
 val create : unit -> t
+
 val add : t -> entry -> entry
 (** Assigns the id; returns the completed entry. *)
 
@@ -29,6 +67,15 @@ val entries : t -> entry list
 (** Ascending id. *)
 
 val find : t -> id:int -> entry option
+
+val set_checkpoint : t -> checkpoint -> unit
+(** Replaces any existing checkpoint for the same (strategy, label). *)
+
+val find_checkpoint :
+  t -> strategy:Strategy.t -> label:string -> checkpoint option
+
+val clear_checkpoint : t -> strategy:Strategy.t -> label:string -> unit
+val checkpoints : t -> checkpoint list
 
 val restore_chain : t -> label:string -> strategy:Strategy.t -> entry list
 (** The newest full backup of [label] under [strategy] followed by the

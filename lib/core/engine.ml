@@ -1,6 +1,8 @@
 module Resource = Repro_sim.Resource
 module Cost = Repro_sim.Cost
+module Clock = Repro_sim.Clock
 module Fs = Repro_wafl.Fs
+module Fsinfo = Repro_wafl.Fsinfo
 module Library = Repro_tape.Library
 module Tape = Repro_tape.Tape
 module Tapeio = Repro_tape.Tapeio
@@ -10,6 +12,7 @@ module Dumpdates = Repro_dump.Dumpdates
 module Filter = Repro_dump.Filter
 module Image_dump = Repro_image.Image_dump
 module Image_restore = Repro_image.Image_restore
+module Retry = Repro_fault.Retry
 
 type t = {
   e_fs : Fs.t;
@@ -18,11 +21,14 @@ type t = {
   cat : Catalog.t;
   cpu : Resource.t option;
   costs : Cost.t;
+  clock : Clock.t option;
+  retry : Retry.policy;
   streams : int array; (* streams written per drive *)
   mutable snap_seq : int;
 }
 
-let create ?cpu ?(costs = Cost.f630) ~fs ~libraries () =
+let create ?cpu ?(costs = Cost.f630) ?clock ?(retry = Retry.default) ~fs ~libraries ()
+    =
   if libraries = [] then invalid_arg "Engine.create: no tape libraries";
   {
     e_fs = fs;
@@ -31,6 +37,8 @@ let create ?cpu ?(costs = Cost.f630) ~fs ~libraries () =
     cat = Catalog.create ();
     cpu;
     costs;
+    clock;
+    retry;
     streams = Array.make (List.length libraries) 0;
     snap_seq = 0;
   }
@@ -39,9 +47,17 @@ let fs t = t.e_fs
 let catalog t = t.cat
 let dumpdates t = t.dd
 
+let charge_backoff t secs =
+  match t.clock with Some c -> Clock.advance c secs | None -> ()
+
 let media_of lib before =
   let all = List.map Tape.media_label (Library.used_media lib) in
   List.filter (fun m -> not (List.mem m before)) all
+
+let snapshot_exists t name =
+  List.exists
+    (fun (s : Fsinfo.snap_entry) -> String.equal s.snap_name name)
+    (Fs.snapshot_entries t.e_fs)
 
 let last_physical_snapshot t ~label =
   match
@@ -54,84 +70,221 @@ let last_physical_snapshot t ~label =
   | e :: _ -> Some e.Catalog.snapshot
   | [] -> None
 
-let backup t ~strategy ?(level = 0) ?(subtree = "/") ?exclude ?(drive = 0) ?label () =
-  let label = match label with Some l -> l | None -> subtree in
+(* Position the stacker to append: locate end of data (a read may have
+   left the drive mid-tape, and writing there would truncate every stream
+   beyond it). An interrupted dump additionally leaves the last cartridge
+   ending in a data record with no filemark: seal it so the garbage
+   occupies a stream index of its own and every later stream keeps clean
+   filemark addressing. *)
+let seal_dangling t ~drive =
   let lib = t.libs.(drive) in
-  let media_before = List.map Tape.media_label (Library.used_media lib) in
-  let stream = t.streams.(drive) in
+  Library.ensure_appendable lib;
+  let d = Library.drive lib in
+  (match Tape.loaded d with Some _ -> Tape.seek_end d | None -> ());
+  if Library.dangling_stream lib then begin
+    Tape.write_filemark d;
+    t.streams.(drive) <- t.streams.(drive) + 1
+  end
+
+(* Build the checkpoint describing a fresh job, creating its snapshot; a
+   stale checkpoint for the same (strategy, label) is an abandoned job —
+   discard it along with its snapshot. *)
+let fresh_checkpoint t ~strategy ~level ~subtree ~drive ~label ~parts =
+  (match Catalog.find_checkpoint t.cat ~strategy ~label with
+  | Some stale ->
+    if stale.Catalog.ck_snapshot <> "" && snapshot_exists t stale.Catalog.ck_snapshot
+    then Fs.snapshot_delete t.e_fs stale.Catalog.ck_snapshot;
+    Catalog.clear_checkpoint t.cat ~strategy ~label
+  | None -> ());
   let date = Fs.now t.e_fs in
-  let entry =
+  t.snap_seq <- t.snap_seq + 1;
+  let snap, base =
     match strategy with
     | Strategy.Logical ->
-      t.snap_seq <- t.snap_seq + 1;
       let snap = Printf.sprintf "dump.%d" t.snap_seq in
       Fs.snapshot_create t.e_fs snap;
-      let view = Fs.snapshot_view t.e_fs snap in
-      let result =
-        Dump.run ~level ~dumpdates:t.dd ?exclude ?cpu:t.cpu ~costs:t.costs ~view
-          ~subtree ~label ~date ~sink:(Tapeio.sink lib) ()
-      in
-      Fs.snapshot_delete t.e_fs snap;
-      {
-        Catalog.id = 0;
-        strategy;
-        label;
-        level;
-        date;
-        bytes = result.Dump.bytes_written;
-        drive;
-        stream;
-        media = media_of lib media_before;
-        snapshot = "";
-        base_snapshot = "";
-      }
+      (snap, "")
     | Strategy.Physical ->
-      t.snap_seq <- t.snap_seq + 1;
       let snap = Printf.sprintf "image.%d" t.snap_seq in
       Fs.snapshot_create t.e_fs snap;
-      let base =
-        if level = 0 then None
-        else
-          match last_physical_snapshot t ~label with
-          | Some b -> Some b
-          | None ->
-            Fs.snapshot_delete t.e_fs snap;
-            raise (Fs.Error "physical incremental requires a prior physical backup")
-      in
-      let result =
-        match base with
+      if level = 0 then (snap, "")
+      else (
+        match last_physical_snapshot t ~label with
+        | Some b -> (snap, b)
         | None ->
-          Image_dump.full ?cpu:t.cpu ~costs:t.costs ~fs:t.e_fs ~snapshot:snap
-            ~sink:(Tapeio.sink lib) ()
-        | Some b ->
-          let r =
-            Image_dump.incremental ?cpu:t.cpu ~costs:t.costs ~fs:t.e_fs ~base:b
-              ~snapshot:snap ~sink:(Tapeio.sink lib) ()
-          in
-          (* The old base has served its purpose; the new snapshot anchors
-             the next incremental. *)
-          Fs.snapshot_delete t.e_fs b;
-          r
-      in
-      {
-        Catalog.id = 0;
-        strategy;
-        label;
-        level;
-        date;
-        bytes = result.Image_dump.bytes_written;
-        drive;
-        stream;
-        media = media_of lib media_before;
-        snapshot = snap;
-        base_snapshot = (match base with Some b -> b | None -> "");
-      }
+          Fs.snapshot_delete t.e_fs snap;
+          raise (Fs.Error "physical incremental requires a prior physical backup"))
   in
-  t.streams.(drive) <- stream + 1;
-  Catalog.add t.cat entry
+  {
+    Catalog.ck_strategy = strategy;
+    ck_label = label;
+    ck_level = level;
+    ck_date = date;
+    ck_subtree = subtree;
+    ck_drive = drive;
+    ck_parts = parts;
+    ck_snapshot = snap;
+    ck_base_snapshot = base;
+    ck_media = [];
+    ck_done = [];
+  }
 
-let source_of t (e : Catalog.entry) =
-  Tapeio.source ~skip_streams:e.Catalog.stream t.libs.(e.Catalog.drive)
+let backup t ~strategy ?(level = 0) ?(subtree = "/") ?exclude ?(drive = 0) ?label
+    ?(parts = 1) ?(resume = false) () =
+  let label = match label with Some l -> l | None -> subtree in
+  if parts < 1 then invalid_arg "Engine.backup: parts must be >= 1";
+  let ck =
+    if resume then (
+      match Catalog.find_checkpoint t.cat ~strategy ~label with
+      | Some ck -> ck
+      | None ->
+        raise (Fs.Error (Printf.sprintf "no interrupted backup of %S to resume" label)))
+    else fresh_checkpoint t ~strategy ~level ~subtree ~drive ~label ~parts
+  in
+  Catalog.set_checkpoint t.cat ck;
+  let level = ck.Catalog.ck_level in
+  let subtree = ck.Catalog.ck_subtree in
+  let drive = ck.Catalog.ck_drive in
+  let parts = ck.Catalog.ck_parts in
+  let date = ck.Catalog.ck_date in
+  let lib = t.libs.(drive) in
+  (* Seal whatever stream the interrupting fault cut off. *)
+  seal_dangling t ~drive;
+  let media_before = List.map Tape.media_label (Library.used_media lib) in
+  let done_parts = ref ck.Catalog.ck_done in
+  let media_acc = ref ck.Catalog.ck_media in
+  let merge_media () =
+    List.iter
+      (fun m -> if not (List.mem m !media_acc) then media_acc := !media_acc @ [ m ])
+      (media_of lib media_before)
+  in
+  let save_checkpoint () =
+    Catalog.set_checkpoint t.cat
+      { ck with Catalog.ck_done = !done_parts; ck_media = !media_acc }
+  in
+  let is_done p =
+    List.exists (fun (d : Catalog.part_done) -> d.Catalog.part = p) !done_parts
+  in
+  let run_part p =
+    let bytes, degraded =
+      Retry.run ~policy:t.retry
+        ~charge:(charge_backoff t)
+        ~cleanup:(fun _ -> seal_dangling t ~drive)
+        ~label:(Printf.sprintf "%s part %d/%d" label (p + 1) parts)
+        (fun () ->
+          let sink = Tapeio.sink lib in
+          match strategy with
+          | Strategy.Logical ->
+            let view = Fs.snapshot_view t.e_fs ck.Catalog.ck_snapshot in
+            let r =
+              Dump.run ~level ~dumpdates:t.dd ~record:false ?exclude ?cpu:t.cpu
+                ~costs:t.costs ~part:(p, parts) ~view ~subtree ~label ~date ~sink ()
+            in
+            (r.Dump.bytes_written, r.Dump.files_skipped)
+          | Strategy.Physical ->
+            let r =
+              if ck.Catalog.ck_base_snapshot = "" then
+                Image_dump.full ?cpu:t.cpu ~costs:t.costs ~part:(p, parts) ~fs:t.e_fs
+                  ~snapshot:ck.Catalog.ck_snapshot ~sink ()
+              else
+                Image_dump.incremental ?cpu:t.cpu ~costs:t.costs ~part:(p, parts)
+                  ~fs:t.e_fs ~base:ck.Catalog.ck_base_snapshot
+                  ~snapshot:ck.Catalog.ck_snapshot ~sink ()
+            in
+            (r.Image_dump.bytes_written, 0))
+    in
+    let stream = t.streams.(drive) in
+    t.streams.(drive) <- stream + 1;
+    done_parts :=
+      List.sort
+        (fun (a : Catalog.part_done) b -> compare a.Catalog.part b.Catalog.part)
+        ({ Catalog.part = p; stream; bytes; degraded } :: !done_parts);
+    merge_media ();
+    save_checkpoint ()
+  in
+  (try
+     for p = 0 to parts - 1 do
+       if not (is_done p) then run_part p
+     done
+   with e ->
+     (* A hard fault: persist what completed (and the cartridges touched)
+        so [backup ~resume:true] re-dumps only the unfinished parts. *)
+     merge_media ();
+     save_checkpoint ();
+     raise e);
+  let done_list = !done_parts in
+  let streams = List.map (fun (d : Catalog.part_done) -> d.Catalog.stream) done_list in
+  let bytes = List.fold_left (fun a (d : Catalog.part_done) -> a + d.Catalog.bytes) 0 done_list in
+  let degraded =
+    List.fold_left (fun a (d : Catalog.part_done) -> a + d.Catalog.degraded) 0 done_list
+  in
+  Catalog.clear_checkpoint t.cat ~strategy ~label;
+  (match strategy with
+  | Strategy.Logical ->
+    Fs.snapshot_delete t.e_fs ck.Catalog.ck_snapshot;
+    (* Recorded only now, with every part sealed: a job that failed midway
+       must not make the next incremental's base date lie. *)
+    Dumpdates.record t.dd ~label ~level ~date
+  | Strategy.Physical ->
+    (* The old base has served its purpose; the new snapshot anchors the
+       next incremental. *)
+    if ck.Catalog.ck_base_snapshot <> "" then
+      Fs.snapshot_delete t.e_fs ck.Catalog.ck_base_snapshot);
+  Catalog.add t.cat
+    {
+      Catalog.id = 0;
+      strategy;
+      label;
+      level;
+      date;
+      bytes;
+      drive;
+      stream = (match streams with s :: _ -> s | [] -> 0);
+      streams;
+      media = !media_acc;
+      snapshot =
+        (match strategy with
+        | Strategy.Logical -> ""
+        | Strategy.Physical -> ck.Catalog.ck_snapshot);
+      base_snapshot = ck.Catalog.ck_base_snapshot;
+      degraded;
+    }
+
+let source_at t (e : Catalog.entry) stream =
+  Tapeio.source ~skip_streams:stream t.libs.(e.Catalog.drive)
+
+(* Run [f] over each of the entry's part streams in part order, merging
+   with [merge]. Sources are created one at a time: each creation rewinds
+   the shared stacker. *)
+let over_streams t (e : Catalog.entry) ~f ~merge ~zero =
+  List.fold_left (fun acc s -> merge acc (f (source_at t e s))) zero e.Catalog.streams
+
+let sum_apply =
+  List.fold_left
+    (fun (acc : Restore.apply_result) (r : Restore.apply_result) ->
+      {
+        Restore.files_restored = acc.files_restored + r.files_restored;
+        dirs_created = acc.dirs_created + r.dirs_created;
+        files_deleted = acc.files_deleted + r.files_deleted;
+        renames = acc.renames + r.renames;
+        bytes_restored = acc.bytes_restored + r.bytes_restored;
+        corrupt_headers_skipped = acc.corrupt_headers_skipped + r.corrupt_headers_skipped;
+      })
+    {
+      Restore.files_restored = 0;
+      dirs_created = 0;
+      files_deleted = 0;
+      renames = 0;
+      bytes_restored = 0;
+      corrupt_headers_skipped = 0;
+    }
+
+let apply_entry t session ?select (e : Catalog.entry) =
+  sum_apply
+    (over_streams t e
+       ~f:(fun src -> [ Restore.apply ?select session src ])
+       ~merge:(fun a b -> a @ b)
+       ~zero:[])
 
 let restore_logical t ~label ~fs ~target ?select () =
   match Catalog.restore_chain t.cat ~label ~strategy:Strategy.Logical with
@@ -142,28 +295,67 @@ let restore_logical t ~label ~fs ~target ?select () =
     | Some _ ->
       (* Selective extraction reads only the newest full dump. *)
       let full = List.hd chain in
-      [ Restore.apply ?select session (source_of t full) ]
-    | None ->
-      List.map (fun e -> Restore.apply session (source_of t e)) chain)
+      [ apply_entry t session ?select full ]
+    | None -> List.map (fun e -> apply_entry t session e) chain)
 
 let restore_physical t ~label ~volume () =
   match Catalog.restore_chain t.cat ~label ~strategy:Strategy.Physical with
   | [] -> raise (Fs.Error (Printf.sprintf "no physical backups of %S" label))
   | chain ->
     List.map
-      (fun e -> Image_restore.apply ?cpu:t.cpu ~costs:t.costs ~volume (source_of t e))
+      (fun e ->
+        let rs =
+          over_streams t e
+            ~f:(fun src ->
+              [ Image_restore.apply ?cpu:t.cpu ~costs:t.costs ~volume src ])
+            ~merge:(fun a b -> a @ b)
+            ~zero:[]
+        in
+        match rs with
+        | [] -> assert false
+        | first :: _ ->
+          {
+            first with
+            Image_restore.blocks_restored =
+              List.fold_left (fun a r -> a + r.Image_restore.blocks_restored) 0 rs;
+            bytes_read =
+              List.fold_left (fun a r -> a + r.Image_restore.bytes_read) 0 rs;
+          })
       chain
 
-let table_of_contents t entry = Restore.table_of_contents (source_of t entry)
+let table_of_contents t (e : Catalog.entry) =
+  (* Every part carries all directories; dedupe by inode across parts. *)
+  let seen = Hashtbl.create 256 in
+  over_streams t e
+    ~f:(fun src ->
+      List.filter
+        (fun (te : Restore.toc_entry) ->
+          if Hashtbl.mem seen te.Restore.ino then false
+          else begin
+            Hashtbl.add seen te.Restore.ino ();
+            true
+          end)
+        (Restore.table_of_contents src))
+    ~merge:(fun a b -> a @ b)
+    ~zero:[]
+
+let merge_verdicts a b =
+  match (a, b) with
+  | Ok (), Ok () -> Ok ()
+  | (Error _ as e), Ok () | Ok (), (Error _ as e) -> e
+  | Error p, Error q -> Error (p @ q)
 
 let verify_logical t ~label ~fs ~target =
   match Catalog.restore_chain t.cat ~label ~strategy:Strategy.Logical with
   | [] -> Error [ Printf.sprintf "no logical backups of %S" label ]
-  | full :: _ -> Restore.compare ~fs ~target (source_of t full)
+  | full :: _ ->
+    over_streams t full
+      ~f:(fun src -> Restore.compare ~fs ~target src)
+      ~merge:merge_verdicts ~zero:(Ok ())
 
 let save w t =
   let open Repro_util.Serde in
-  write_fixed w "RENG1";
+  write_fixed w "RENG2";
   write_u16 w (Array.length t.libs);
   Array.iter (fun lib -> Library.save w lib) t.libs;
   Array.iter (fun s -> write_u32 w s) t.streams;
@@ -171,16 +363,16 @@ let save w t =
   write_string w (Catalog.encode t.cat);
   write_u32 w t.snap_seq
 
-let load ?cpu ?(costs = Cost.f630) r ~fs =
+let load ?cpu ?(costs = Cost.f630) ?clock ?(retry = Retry.default) r ~fs =
   let open Repro_util.Serde in
-  expect_magic r "RENG1";
+  expect_magic r "RENG2";
   let nlibs = read_u16 r in
   let libs = Array.init nlibs (fun _ -> Library.load r) in
   let streams = Array.init nlibs (fun _ -> read_u32 r) in
   let dd = Dumpdates.decode (read_string r) in
   let cat = Catalog.decode (read_string r) in
   let snap_seq = read_u32 r in
-  { e_fs = fs; libs; dd; cat; cpu; costs; streams; snap_seq }
+  { e_fs = fs; libs; dd; cat; cpu; costs; clock; retry; streams; snap_seq }
 
 let verify_physical t ~label =
   match Catalog.restore_chain t.cat ~label ~strategy:Strategy.Physical with
@@ -188,8 +380,12 @@ let verify_physical t ~label =
   | chain ->
     List.fold_left
       (fun acc e ->
-        match (acc, Image_restore.verify (source_of t e)) with
-        | Ok n, Ok m -> Ok (n + m)
-        | Ok _, Error p | Error p, Ok _ -> Error p
-        | Error p, Error q -> Error (p @ q))
+        over_streams t e
+          ~f:(fun src -> Image_restore.verify src)
+          ~merge:(fun a b ->
+            match (a, b) with
+            | Ok n, Ok m -> Ok (n + m)
+            | Ok _, Error p | Error p, Ok _ -> Error p
+            | Error p, Error q -> Error (p @ q))
+          ~zero:acc)
       (Ok 0) chain

@@ -9,17 +9,32 @@
 
     Multiple backups stack onto one stacker as successive tape streams;
     the catalog records drive and stream indices so restores find their
-    media without operator memory. *)
+    media without operator memory.
+
+    {b Resilience.} Each backup attempt runs under a bounded
+    exponential-backoff retry ({!Repro_fault.Retry}) absorbing transient
+    device errors, with backoff charged to the engine's simulated [clock].
+    A job may be split into [parts] independent tape streams; progress is
+    checkpointed in the catalog per completed part, so a job killed by a
+    hard fault (dead drive, failed disk) resumes with
+    [backup ~resume:true], re-dumping only the unfinished parts from the
+    {e same} snapshot. A stream the fault cut off mid-write is sealed with
+    a filemark so stream addressing stays consistent. *)
 
 type t
 
 val create :
   ?cpu:Repro_sim.Resource.t ->
   ?costs:Repro_sim.Cost.t ->
+  ?clock:Repro_sim.Clock.t ->
+  ?retry:Repro_fault.Retry.policy ->
   fs:Repro_wafl.Fs.t ->
   libraries:Repro_tape.Library.t list ->
   unit ->
   t
+(** [clock] receives the retry backoff delays ({!Repro_fault.Retry.run});
+    without one, backoff costs no simulated time. [retry] defaults to
+    {!Repro_fault.Retry.default}. *)
 
 val fs : t -> Repro_wafl.Fs.t
 val catalog : t -> Catalog.t
@@ -33,13 +48,33 @@ val backup :
   ?exclude:Repro_dump.Filter.t ->
   ?drive:int ->
   ?label:string ->
+  ?parts:int ->
+  ?resume:bool ->
   unit ->
   Catalog.entry
 (** [level] defaults to 0 (full). [subtree] defaults to ["/"] and applies
     to logical backups only (a physical dump always captures the volume).
     [label] defaults to the subtree. Raises [Repro_wafl.Fs.Error] on a
     level->0 physical incremental with no prior full, or an invalid
-    subtree. *)
+    subtree.
+
+    [parts] (default 1) splits the job into that many independent tape
+    streams, each a self-contained dump of its share (logical: files by
+    inode number mod [parts]; physical: contiguous block ranges). Every
+    completed part is checkpointed in the catalog. If a hard fault kills
+    the job, the exception propagates with the checkpoint (and the job's
+    snapshot) left in place; [resume] then picks the job up — [level],
+    [subtree], [parts], [drive] and the dump date come from the
+    checkpoint, only unfinished parts are dumped, and the result entry
+    covers the whole job. [~resume:true] with no checkpoint for
+    (strategy, label) raises [Repro_wafl.Fs.Error]. A fresh backup
+    discards any stale checkpoint (and its snapshot) for the same key.
+    [exclude] is not checkpointed; pass it again on resume.
+
+    Transient faults never surface here: each part attempt retries under
+    the engine's {!Repro_fault.Retry.policy}, sealing the partial stream
+    before each retry. Dumpdates and the catalog entry are recorded only
+    when the whole job completes. *)
 
 val restore_logical :
   t ->
@@ -53,7 +88,8 @@ val restore_logical :
     [target]. [select] extracts specific paths from the newest applicable
     full dump only (stupidity recovery does not need the whole chain when
     the file is on the level-0 tape; for files created later, restore the
-    chain without [select]). *)
+    chain without [select]). Each result sums over the entry's part
+    streams, applied in part order. *)
 
 val restore_physical :
   t ->
@@ -62,32 +98,40 @@ val restore_physical :
   unit ->
   Repro_image.Image_restore.result list
 (** Disaster recovery: replay the image chain onto a (new) volume. Mount
-    it afterwards with [Repro_wafl.Fs.mount]. *)
+    it afterwards with [Repro_wafl.Fs.mount]. Each result sums over the
+    entry's part streams. *)
 
 val verify_physical : t -> label:string -> (int, string list) result
 (** Checksum-verify every stream of the physical chain. *)
 
 val table_of_contents : t -> Catalog.entry -> Repro_dump.Restore.toc_entry list
-(** Read the named stream's front matter and list its contents (logical
-    dumps only). *)
+(** Read the named backup's front matter and list its contents (logical
+    dumps only). Multi-part entries are merged: directories appear in
+    every part's stream and are reported once. *)
 
 val verify_logical :
   t -> label:string -> fs:Repro_wafl.Fs.t -> target:string -> (unit, string list) result
 (** [restore -C]: compare the newest full logical dump of [label] against
     the live tree under [target] without writing anything. Meaningful when
-    the tree has not changed since that dump (verify right after backup). *)
+    the tree has not changed since that dump (verify right after backup).
+    Multi-part entries compare every part stream. *)
 
 (** {1 Persistence}
 
     The engine's operational state — stackers with their cartridges, the
-    dumpdates database, the catalog, stream counters — serializes as one
-    blob. The file system's volume is saved separately (see
-    {!Repro_block.Persist} and {!Store}). *)
+    dumpdates database, the catalog with any in-flight checkpoints, stream
+    counters — serializes as one blob, so an interrupted job survives a
+    process restart and resumes from the reloaded store. The file system's
+    volume is saved separately (see {!Repro_block.Persist} and
+    {!Store}). *)
 
 val save : Repro_util.Serde.writer -> t -> unit
+
 val load :
   ?cpu:Repro_sim.Resource.t ->
   ?costs:Repro_sim.Cost.t ->
+  ?clock:Repro_sim.Clock.t ->
+  ?retry:Repro_fault.Retry.policy ->
   Repro_util.Serde.reader ->
   fs:Repro_wafl.Fs.t ->
   t

@@ -286,6 +286,36 @@ let scaling_chart ppf (runs : Experiment.basic list) =
         (if b.Experiment.tapes = 1 then " " else "s") p (bar p))
     runs
 
+let faults ppf ~plane ~engine =
+  let module F = Repro_fault.Fault in
+  Format.fprintf ppf "Fault drill report@.";
+  hline ppf 72;
+  Format.fprintf ppf "  injected %d | repairs %d | retries %d | skips %d@."
+    (F.injected plane) (F.repairs plane) (F.retries plane) (F.skips plane);
+  let vol = Repro_wafl.Fs.volume (Engine.fs engine) in
+  Format.fprintf ppf "  RAID media repairs (reconstruct + rewrite in place): %d@."
+    (Repro_block.Volume.media_repairs vol);
+  let cat = Engine.catalog engine in
+  List.iter
+    (fun (e : Catalog.entry) ->
+      if e.Catalog.degraded > 0 then
+        Format.fprintf ppf
+          "  degraded backup #%d (%a %S level %d): %d unreadable file%s skipped@."
+          e.Catalog.id Strategy.pp e.Catalog.strategy e.Catalog.label e.Catalog.level
+          e.Catalog.degraded
+          (if e.Catalog.degraded = 1 then "" else "s"))
+    (Catalog.entries cat);
+  List.iter
+    (fun (ck : Catalog.checkpoint) ->
+      Format.fprintf ppf "  in-flight: %a %S level %d, %d/%d parts done (resumable)@."
+        Strategy.pp ck.Catalog.ck_strategy ck.Catalog.ck_label ck.Catalog.ck_level
+        (List.length ck.Catalog.ck_done)
+        ck.Catalog.ck_parts)
+    (Catalog.checkpoints cat);
+  Format.fprintf ppf "  journal:@.";
+  List.iter (fun l -> Format.fprintf ppf "    %s@." l) (F.journal_lines plane);
+  hline ppf 72
+
 let concurrent ppf (c : Experiment.concurrent) =
   Format.fprintf ppf "Concurrent volume dumps (paper 5.1)@.";
   hline ppf 80;

@@ -25,3 +25,9 @@ val scaling_chart : Format.formatter -> Experiment.basic list -> unit
 
 val concurrent : Format.formatter -> Experiment.concurrent -> unit
 (** The §5.1 concurrent-volumes claim. *)
+
+val faults :
+  Format.formatter -> plane:Repro_fault.Fault.plane -> engine:Engine.t -> unit
+(** After a fault drill: injected/repair/retry/skip counts from the
+    plane's journal, RAID media repairs, degraded catalog entries,
+    resumable in-flight checkpoints, and the journal itself. *)

@@ -14,6 +14,9 @@ type result = {
   files_dumped : int;
   dirs_dumped : int;
   inodes_mapped : int;
+  files_skipped : int;
+      (** unreadable files skipped (degraded mode); their headers are on
+          tape with no data, so restore yields an empty file *)
 }
 
 let charge cpu secs = match cpu with Some r -> Resource.charge r secs | None -> ()
@@ -84,9 +87,13 @@ let canonical_dir_content entries =
     entries;
   Serde.contents w
 
-let run ?(level = 0) ?dumpdates ?(exclude = Filter.none) ?cpu ?(costs = Cost.f630)
-    ?(observe = fun _label f -> f ()) ~view ~subtree ~label ~date ~sink () =
+let run ?(level = 0) ?dumpdates ?(record = true) ?(exclude = Filter.none) ?cpu
+    ?(costs = Cost.f630) ?(part = (0, 1)) ?(observe = fun _label f -> f ())
+    ~view ~subtree ~label ~date ~sink () =
   if level < 0 || level > 9 then invalid_arg "Dump.run: level must be 0-9";
+  let part_idx, nparts = part in
+  if nparts < 1 || part_idx < 0 || part_idx >= nparts then
+    invalid_arg "Dump.run: bad part";
   let base_date =
     if level = 0 then 0.0
     else
@@ -154,18 +161,36 @@ let run ?(level = 0) ?dumpdates ?(exclude = Filter.none) ?cpu ?(costs = Cost.f63
   in
   observe "mapping" (fun () -> ignore (map_dir root_ino ""));
 
+  (* Partitioned dump: part [i] of [n] carries the files whose inode
+     number is congruent to [i] mod [n] — but every part carries the full
+     usage map and all dumped directories, so each part's stream is
+     self-describing and restore's reconciliation never mistakes another
+     part's files for deletions. *)
+  let part_dumped =
+    if nparts = 1 then dumped
+    else begin
+      let pd = Bitmap.create max_inodes in
+      Bitmap.iter_set
+        (fun ino ->
+          if Hashtbl.mem dirs ino || ino mod nparts = part_idx then Bitmap.set pd ino)
+        dumped;
+      pd
+    end
+  in
+
   let start_bytes = Tapeio.sink_bytes_written sink in
   Tapeio.output sink
     (Spec.encode
        (Spec.Tape { level; dump_date = date; base_date; label; root_ino; max_inodes }));
   emit_map sink ~map_kind:`Usage ~inodes:max_inodes usage;
-  emit_map sink ~map_kind:`Dumped ~inodes:max_inodes dumped;
+  emit_map sink ~map_kind:`Dumped ~inodes:max_inodes part_dumped;
 
   (* Phase III: directories, ascending inode order, canonical content. *)
   let dirs_dumped = ref 0 in
   observe "dumping directories" (fun () ->
       let dir_inos =
-        Hashtbl.fold (fun ino _ acc -> if Bitmap.get dumped ino then ino :: acc else acc)
+        Hashtbl.fold
+          (fun ino _ acc -> if Bitmap.get part_dumped ino then ino :: acc else acc)
           dirs []
         |> List.sort compare
       in
@@ -194,6 +219,7 @@ let run ?(level = 0) ?dumpdates ?(exclude = Filter.none) ?cpu ?(costs = Cost.f63
 
   (* Phase IV: files, ascending inode order. *)
   let files_dumped = ref 0 in
+  let files_skipped = ref 0 in
   observe "dumping files" (fun () ->
       Bitmap.iter_set
         (fun ino ->
@@ -201,26 +227,49 @@ let run ?(level = 0) ?dumpdates ?(exclude = Filter.none) ?cpu ?(costs = Cost.f63
           if attr.Inode.kind = Inode.Regular || attr.Inode.kind = Inode.Symlink then begin
             let nblocks = Inode.nblocks attr in
             charge cpu costs.Cost.dump_per_file;
-            emit_file_header sink ~ino ~inode:attr
-              ~xattrs:(Fs.View.xattrs view ino) ~nblocks
-              ~present:(fun lbn -> Fs.View.block_present view ino lbn);
-            for lbn = 0 to nblocks - 1 do
-              match Fs.View.file_block view ino lbn with
-              | Some block ->
-                charge cpu
-                  (Float.of_int Spec.data_block_size *. costs.Cost.dump_format_per_byte);
-                Tapeio.output sink (Bytes.to_string block)
-              | None -> ()
-            done;
-            incr files_dumped
+            (* Pull every present block off the snapshot BEFORE emitting
+               the header: an unreadable block must not leave a
+               half-written file record on tape. *)
+            match
+              let acc = ref [] in
+              for lbn = nblocks - 1 downto 0 do
+                match Fs.View.file_block view ino lbn with
+                | Some block -> acc := block :: !acc
+                | None -> ()
+              done;
+              !acc
+            with
+            | blocks ->
+              emit_file_header sink ~ino ~inode:attr
+                ~xattrs:(Fs.View.xattrs view ino) ~nblocks
+                ~present:(fun lbn -> Fs.View.block_present view ino lbn);
+              List.iter
+                (fun block ->
+                  charge cpu
+                    (Float.of_int Spec.data_block_size *. costs.Cost.dump_format_per_byte);
+                  Tapeio.output sink (Bytes.to_string block))
+                blocks;
+              incr files_dumped
+            | exception Repro_fault.Fault.Media_error { device; _ } ->
+              (* Degraded mode: one unreadable file must not kill a
+                 multi-hour dump. Emit its header with no data — restore
+                 produces an empty file — and report it. *)
+              Repro_fault.Fault.note_skip ~device ~addr:ino
+                ~what:"unreadable file skipped by logical dump";
+              incr files_skipped;
+              emit_file_header sink ~ino
+                ~inode:{ attr with size = 0 }
+                ~xattrs:(Fs.View.xattrs view ino) ~nblocks:0
+                ~present:(fun _ -> false)
           end)
-        dumped);
+        part_dumped);
 
   Tapeio.output sink (Spec.encode Spec.End);
   Tapeio.close_sink sink;
   (match dumpdates with
-  | Some dd -> Dumpdates.record dd ~label ~level ~date
-  | None -> ());
+  | Some dd when record && part_idx = nparts - 1 ->
+    Dumpdates.record dd ~label ~level ~date
+  | Some _ | None -> ());
   {
     level;
     dump_date = date;
@@ -229,4 +278,5 @@ let run ?(level = 0) ?dumpdates ?(exclude = Filter.none) ?cpu ?(costs = Cost.f63
     files_dumped = !files_dumped;
     dirs_dumped = !dirs_dumped;
     inodes_mapped = !inodes_mapped;
+    files_skipped = !files_skipped;
   }

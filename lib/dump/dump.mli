@@ -20,14 +20,19 @@ type result = {
   files_dumped : int;
   dirs_dumped : int;
   inodes_mapped : int;  (** inodes marked in use by phase I *)
+  files_skipped : int;
+      (** unreadable files skipped in degraded mode: their headers are on
+          tape with no data, so restore yields an empty file *)
 }
 
 val run :
   ?level:int ->
   ?dumpdates:Dumpdates.t ->
+  ?record:bool ->
   ?exclude:Filter.t ->
   ?cpu:Repro_sim.Resource.t ->
   ?costs:Repro_sim.Cost.t ->
+  ?part:int * int ->
   ?observe:(string -> (unit -> unit) -> unit) ->
   view:Repro_wafl.Fs.View.v ->
   subtree:string ->
@@ -39,7 +44,24 @@ val run :
 (** [run ~view ~subtree ~label ~date ~sink ()] dumps the subtree rooted at
     [subtree] and closes the sink (filemark). [level] defaults to 0; an
     incremental's base date comes from [dumpdates] (which is also updated
-    with this dump's date). [observe] wraps the measurable stages
-    ("mapping", "dumping directories", "dumping files") for the
-    Table 3 instrumentation. Raises [Repro_wafl.Fs.Error] if [subtree]
-    does not name a directory. *)
+    with this dump's date unless [record] is [false] — the engine passes
+    [~record:false] and records itself only once the whole job, possibly
+    many parts, completes).
+
+    [part] is [(i, n)]: emit part [i] of an [n]-way partitioned dump
+    carrying the files whose inode number is congruent to [i] mod [n].
+    Every part carries the full usage map and all dumped directories, so
+    each part's stream restores independently and in any order; applying
+    all [n] parts reproduces exactly the single-stream result. The default
+    [(0, 1)] is the ordinary whole dump. Dumpdates are recorded only by
+    the last part.
+
+    Unreadable files (a {!Repro_fault.Fault.Media_error} escaping the
+    block layer) are skipped, not fatal: the file's header is written with
+    no data, [files_skipped] is incremented, and the skip is journaled in
+    the armed fault plane. This is the logical dump's graceful degradation
+    — contrast {!Repro_image.Image_dump}, which fails the whole image.
+
+    [observe] wraps the measurable stages ("mapping", "dumping
+    directories", "dumping files") for the Table 3 instrumentation. Raises
+    [Repro_wafl.Fs.Error] if [subtree] does not name a directory. *)

@@ -1,0 +1,330 @@
+module Prng = Repro_util.Prng
+
+type spec =
+  | Latent_sector_error of { device : string; addr : int }
+  | Flaky_reads of { device : string; failures : int; prob : float }
+  | Disk_death of { device : string; after_ios : int }
+  | Tape_soft_errors of {
+      device : string;
+      op : [ `Read | `Write ];
+      failures : int;
+    }
+  | Tape_hard_error of { device : string; record : int }
+  | Tape_drive_death of { device : string; after_records : int }
+  | Nvram_loss of { device : string; after_ops : int }
+  | Torn_fsinfo_write of { device : string }
+
+type event = {
+  seq : int;
+  kind : string;
+  device : string;
+  addr : int;
+  detail : string;
+}
+
+(* Mutable per-device state compiled from the specs. *)
+type dstate = {
+  mutable lse : int list;  (** unreadable block addresses *)
+  mutable flaky_left : int;
+  mutable flaky_prob : float;
+  mutable death_countdown : int;  (** -1 = no death scheduled *)
+  mutable soft_read_left : int;
+  mutable soft_write_left : int;
+  mutable hard_records : int list;
+  mutable tape_death_countdown : int;
+  mutable tape_dead : bool;
+  mutable nvram_countdown : int;
+  mutable torn_fsinfo : bool;
+}
+
+let fresh_dstate () =
+  {
+    lse = [];
+    flaky_left = 0;
+    flaky_prob = 0.0;
+    death_countdown = -1;
+    soft_read_left = 0;
+    soft_write_left = 0;
+    hard_records = [];
+    tape_death_countdown = -1;
+    tape_dead = false;
+    nvram_countdown = -1;
+    torn_fsinfo = false;
+  }
+
+type plane = {
+  p_specs : spec list;
+  rng : Prng.t;
+  by_device : (string, dstate) Hashtbl.t;
+  mutable journal : event list; (* newest first *)
+  mutable seq : int;
+  mutable injected : int;
+  mutable repairs : int;
+  mutable retries : int;
+  mutable skips : int;
+}
+
+let state p device =
+  match Hashtbl.find_opt p.by_device device with
+  | Some s -> s
+  | None ->
+    let s = fresh_dstate () in
+    Hashtbl.add p.by_device device s;
+    s
+
+let plan ?(seed = 0) specs =
+  let p =
+    {
+      p_specs = specs;
+      rng = Prng.create seed;
+      by_device = Hashtbl.create 8;
+      journal = [];
+      seq = 0;
+      injected = 0;
+      repairs = 0;
+      retries = 0;
+      skips = 0;
+    }
+  in
+  List.iter
+    (fun spec ->
+      match spec with
+      | Latent_sector_error { device; addr } ->
+        let s = state p device in
+        s.lse <- addr :: s.lse
+      | Flaky_reads { device; failures; prob } ->
+        let s = state p device in
+        s.flaky_left <- s.flaky_left + failures;
+        s.flaky_prob <- prob
+      | Disk_death { device; after_ios } ->
+        (state p device).death_countdown <- after_ios
+      | Tape_soft_errors { device; op; failures } -> (
+        let s = state p device in
+        match op with
+        | `Read -> s.soft_read_left <- s.soft_read_left + failures
+        | `Write -> s.soft_write_left <- s.soft_write_left + failures)
+      | Tape_hard_error { device; record } ->
+        let s = state p device in
+        s.hard_records <- record :: s.hard_records
+      | Tape_drive_death { device; after_records } ->
+        (state p device).tape_death_countdown <- after_records
+      | Nvram_loss { device; after_ops } ->
+        (state p device).nvram_countdown <- after_ops
+      | Torn_fsinfo_write { device } -> (state p device).torn_fsinfo <- true)
+    specs;
+  p
+
+let specs p = p.p_specs
+
+(* ------------------------------------------------------------------ *)
+(* Arming                                                              *)
+
+let current : plane option ref = ref None
+let arm p = current := Some p
+let disarm () = current := None
+let armed () = !current
+
+let with_armed p f =
+  let prev = !current in
+  current := Some p;
+  Fun.protect ~finally:(fun () -> current := prev) f
+
+(* ------------------------------------------------------------------ *)
+(* Journal                                                             *)
+
+let record p ~kind ~device ~addr ~detail =
+  let ev = { seq = p.seq; kind; device; addr; detail } in
+  p.seq <- p.seq + 1;
+  p.journal <- ev :: p.journal
+
+let inject p ~kind ~device ~addr ~detail =
+  p.injected <- p.injected + 1;
+  record p ~kind ~device ~addr ~detail
+
+let events p = List.rev p.journal
+let injected p = p.injected
+let repairs p = p.repairs
+let retries p = p.retries
+let skips p = p.skips
+
+let line (ev : event) =
+  Printf.sprintf "%04d %-12s %-20s %6d %s" ev.seq ev.kind ev.device ev.addr
+    ev.detail
+
+let journal_lines p = List.map line (events p)
+let pp_event ppf ev = Format.pp_print_string ppf (line ev)
+
+let pp_journal ppf p =
+  List.iter (fun ev -> Format.fprintf ppf "%a@." pp_event ev) (events p)
+
+(* ------------------------------------------------------------------ *)
+(* Failures                                                            *)
+
+exception Media_error of { device : string; addr : int }
+exception Transient of { device : string; what : string }
+exception Drive_dead of string
+
+(* ------------------------------------------------------------------ *)
+(* Hooks                                                               *)
+
+(* Hooks run on every device I/O: the disarmed path must be one branch,
+   and the armed-but-idle path one hashtable miss. *)
+
+let on_disk_read ~device ~addr =
+  match !current with
+  | None -> ()
+  | Some p -> (
+    match Hashtbl.find_opt p.by_device device with
+    | None -> ()
+    | Some s ->
+      if s.death_countdown >= 0 then begin
+        s.death_countdown <- s.death_countdown - 1;
+        if s.death_countdown < 0 then begin
+          inject p ~kind:"disk-dead" ~device ~addr ~detail:"drive failed";
+          raise (Drive_dead device)
+        end
+      end;
+      if List.mem addr s.lse then begin
+        inject p ~kind:"lse" ~device ~addr ~detail:"latent sector error";
+        raise (Media_error { device; addr })
+      end;
+      if s.flaky_left > 0 && Prng.float p.rng 1.0 < s.flaky_prob then begin
+        s.flaky_left <- s.flaky_left - 1;
+        inject p ~kind:"transient" ~device ~addr ~detail:"read timeout";
+        raise (Transient { device; what = "read timeout" })
+      end)
+
+let on_disk_write ~device ~addr =
+  match !current with
+  | None -> ()
+  | Some p -> (
+    match Hashtbl.find_opt p.by_device device with
+    | None -> ()
+    | Some s ->
+      if s.death_countdown >= 0 then begin
+        s.death_countdown <- s.death_countdown - 1;
+        if s.death_countdown < 0 then begin
+          inject p ~kind:"disk-dead" ~device ~addr ~detail:"drive failed";
+          raise (Drive_dead device)
+        end
+      end;
+      if List.mem addr s.lse then begin
+        (* Rewriting the sector remaps it: the latent error is gone. *)
+        s.lse <- List.filter (fun a -> a <> addr) s.lse;
+        record p ~kind:"lse-cleared" ~device ~addr ~detail:"sector rewritten"
+      end)
+
+let tape_death_tick p s ~device ~record:r =
+  if s.tape_dead then begin
+    inject p ~kind:"tape-dead" ~device ~addr:r ~detail:"drive is dead";
+    raise (Drive_dead device)
+  end;
+  if s.tape_death_countdown >= 0 then begin
+    s.tape_death_countdown <- s.tape_death_countdown - 1;
+    if s.tape_death_countdown < 0 then begin
+      s.tape_dead <- true;
+      inject p ~kind:"tape-dead" ~device ~addr:r ~detail:"drive died mid-stream";
+      raise (Drive_dead device)
+    end
+  end
+
+let on_tape_read ~device ~record:r =
+  match !current with
+  | None -> ()
+  | Some p -> (
+    match Hashtbl.find_opt p.by_device device with
+    | None -> ()
+    | Some s ->
+      tape_death_tick p s ~device ~record:r;
+      if List.mem r s.hard_records then begin
+        inject p ~kind:"tape-hard" ~device ~addr:r ~detail:"unreadable record";
+        raise (Media_error { device; addr = r })
+      end;
+      if s.soft_read_left > 0 then begin
+        s.soft_read_left <- s.soft_read_left - 1;
+        inject p ~kind:"tape-soft" ~device ~addr:r ~detail:"soft read error";
+        raise (Transient { device; what = "soft read error" })
+      end)
+
+let on_tape_write ~device ~record:r =
+  match !current with
+  | None -> ()
+  | Some p -> (
+    match Hashtbl.find_opt p.by_device device with
+    | None -> ()
+    | Some s ->
+      tape_death_tick p s ~device ~record:r;
+      if s.soft_write_left > 0 then begin
+        s.soft_write_left <- s.soft_write_left - 1;
+        inject p ~kind:"tape-soft" ~device ~addr:r ~detail:"soft write error";
+        raise (Transient { device; what = "soft write error" })
+      end)
+
+let on_nvram_log ~device =
+  match !current with
+  | None -> `Ok
+  | Some p -> (
+    match Hashtbl.find_opt p.by_device device with
+    | None -> `Ok
+    | Some s ->
+      if s.nvram_countdown >= 0 then begin
+        s.nvram_countdown <- s.nvram_countdown - 1;
+        if s.nvram_countdown < 0 then begin
+          inject p ~kind:"nvram-loss" ~device ~addr:(-1)
+            ~detail:"NVRAM contents lost";
+          `Lost
+        end
+        else `Ok
+      end
+      else `Ok)
+
+let on_fsinfo_write ~device ~primary =
+  match !current with
+  | None -> `Ok
+  | Some p -> (
+    match Hashtbl.find_opt p.by_device device with
+    | None -> `Ok
+    | Some s ->
+      if primary && s.torn_fsinfo then begin
+        s.torn_fsinfo <- false;
+        inject p ~kind:"torn-fsinfo" ~device ~addr:0
+          ~detail:"primary fsinfo write torn";
+        `Torn
+      end
+      else `Ok)
+
+let revive p ~device =
+  let s = state p device in
+  s.tape_dead <- false;
+  s.tape_death_countdown <- -1;
+  record p ~kind:"revive" ~device ~addr:(-1) ~detail:"drive replaced"
+
+let dead p ~device =
+  match Hashtbl.find_opt p.by_device device with
+  | Some s -> s.tape_dead
+  | None -> false
+
+(* ------------------------------------------------------------------ *)
+(* Response notes                                                      *)
+
+let note_repair ~device ~addr =
+  match !current with
+  | None -> ()
+  | Some p ->
+    p.repairs <- p.repairs + 1;
+    record p ~kind:"repair" ~device ~addr ~detail:"reconstructed from parity"
+
+let note_retry ~device ~what ~attempt ~delay_s =
+  match !current with
+  | None -> ()
+  | Some p ->
+    p.retries <- p.retries + 1;
+    record p ~kind:"retry" ~device ~addr:attempt
+      ~detail:(Printf.sprintf "%s, backoff %.3fs" what delay_s)
+
+let note_skip ~device ~addr ~what =
+  match !current with
+  | None -> ()
+  | Some p ->
+    p.skips <- p.skips + 1;
+    record p ~kind:"skip" ~device ~addr ~detail:what

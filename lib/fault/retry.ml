@@ -1,0 +1,21 @@
+type policy = { attempts : int; base_s : float; multiplier : float }
+
+let default = { attempts = 4; base_s = 1.0; multiplier = 2.0 }
+
+let backoff policy ~attempt =
+  if attempt <= 1 then policy.base_s
+  else policy.base_s *. (policy.multiplier ** Float.of_int (attempt - 1))
+
+let run ?(policy = default) ?(charge = fun _ -> ()) ?(cleanup = fun _ -> ())
+    ~label f =
+  if policy.attempts < 1 then invalid_arg "Retry.run: attempts < 1";
+  let rec go attempt =
+    try f ()
+    with Fault.Transient { device; _ } as e when attempt < policy.attempts ->
+      cleanup e;
+      let delay = backoff policy ~attempt in
+      Fault.note_retry ~device ~what:label ~attempt ~delay_s:delay;
+      charge delay;
+      go (attempt + 1)
+  in
+  go 1

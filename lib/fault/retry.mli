@@ -1,0 +1,33 @@
+(** Bounded retry with exponential backoff for transient device errors.
+
+    The engine wraps each backup attempt in {!run}: a {!Fault.Transient}
+    triggers a backoff (charged to the simulated clock by the caller's
+    [charge]) and a re-run, up to [attempts] total tries. Anything other
+    than [Transient] — media errors, dead drives — propagates immediately;
+    retrying cannot help those. Every retry is journalled to the armed
+    fault plane. *)
+
+type policy = {
+  attempts : int;  (** total tries, including the first (>= 1) *)
+  base_s : float;  (** backoff before the first retry, simulated seconds *)
+  multiplier : float;  (** backoff growth per retry *)
+}
+
+val default : policy
+(** 4 attempts, 1 s base, doubling: worst case 7 s of simulated backoff. *)
+
+val backoff : policy -> attempt:int -> float
+(** Backoff charged before retry number [attempt] (1-based). *)
+
+val run :
+  ?policy:policy ->
+  ?charge:(float -> unit) ->
+  ?cleanup:(exn -> unit) ->
+  label:string ->
+  (unit -> 'a) ->
+  'a
+(** [run ~label f] runs [f], retrying on {!Fault.Transient}. [charge] is
+    called with each backoff duration (default: ignore); [cleanup] runs
+    before each retry with the exception that caused it (e.g. sealing a
+    partial tape stream). When the attempt budget is exhausted the last
+    [Transient] propagates. *)

@@ -73,8 +73,11 @@ let synthesize_fsinfo fs (target : Fsinfo.snap_entry) included =
       snaps = included;
     }
 
-let run ?cpu ?(costs = Cost.f630) ?(observe = fun _label f -> f ()) ~fs ~kind ~base
-    ~snapshot ~sink () =
+let run ?cpu ?(costs = Cost.f630) ?(part = (0, 1)) ?(observe = fun _label f -> f ())
+    ~fs ~kind ~base ~snapshot ~sink () =
+  let part_idx, nparts = part in
+  if nparts < 1 || part_idx < 0 || part_idx >= nparts then
+    invalid_arg "Image_dump.run: bad part";
   Fs.cp fs;
   let bmap = Fs.blockmap fs in
   let target = find_entry fs snapshot in
@@ -115,6 +118,21 @@ let run ?cpu ?(costs = Cost.f630) ?(observe = fun _label f -> f ()) ~fs ~kind ~b
         List.filter (fun (s : Fsinfo.snap_entry) -> s.snap_id <= target.snap_id) included
       in
       (set, included, dropped, base_entry.snap_name)
+  in
+  (* Partitioned dump: part [i] of [n] carries the selected blocks inside
+     the contiguous vbn range [i*nb/n, (i+1)*nb/n). Each part is a
+     complete stream — header, extents, trailer — so parts restore
+     independently and in any order; the trailer fsinfo is identical
+     across parts and idempotent under Image_restore.apply. *)
+  let set =
+    if nparts = 1 then set
+    else begin
+      let nb = Fs.size_blocks fs in
+      let lo = part_idx * nb / nparts and hi = (part_idx + 1) * nb / nparts in
+      let ps = Bitmap.create nb in
+      Bitmap.iter_set (fun vbn -> if vbn >= lo && vbn < hi then Bitmap.set ps vbn) set;
+      ps
+    end
   in
   let block_count =
     Bitmap.count set
@@ -188,8 +206,9 @@ let raw ?cpu ?(costs = Cost.f630) ?(observe = fun _label f -> f ()) ~volume ~sin
     snapshots_dropped = [];
   }
 
-let full ?cpu ?costs ?observe ~fs ~snapshot ~sink () =
-  run ?cpu ?costs ?observe ~fs ~kind:Format.Full ~base:None ~snapshot ~sink ()
+let full ?cpu ?costs ?part ?observe ~fs ~snapshot ~sink () =
+  run ?cpu ?costs ?part ?observe ~fs ~kind:Format.Full ~base:None ~snapshot ~sink ()
 
-let incremental ?cpu ?costs ?observe ~fs ~base ~snapshot ~sink () =
-  run ?cpu ?costs ?observe ~fs ~kind:Format.Incremental ~base:(Some base) ~snapshot ~sink ()
+let incremental ?cpu ?costs ?part ?observe ~fs ~base ~snapshot ~sink () =
+  run ?cpu ?costs ?part ?observe ~fs ~kind:Format.Incremental ~base:(Some base) ~snapshot
+    ~sink ()

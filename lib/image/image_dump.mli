@@ -27,6 +27,7 @@ type result = {
 val full :
   ?cpu:Repro_sim.Resource.t ->
   ?costs:Repro_sim.Cost.t ->
+  ?part:int * int ->
   ?observe:(string -> (unit -> unit) -> unit) ->
   fs:Repro_wafl.Fs.t ->
   snapshot:string ->
@@ -34,11 +35,19 @@ val full :
   unit ->
   result
 (** Raises [Repro_wafl.Fs.Error] if the snapshot does not exist. Closes
-    the sink. [observe] wraps "dumping blocks". *)
+    the sink. [observe] wraps "dumping blocks".
+
+    [part] is [(i, n)]: emit part [i] of an [n]-way partitioned dump
+    carrying the selected blocks in the contiguous vbn range
+    [i*nb/n, (i+1)*nb/n). Each part is a complete stream (header, extents,
+    trailer with an identical synthesized fsinfo), so parts restore
+    independently and in any order; applying all [n] reproduces exactly
+    the single-stream result. Default [(0, 1)]. *)
 
 val incremental :
   ?cpu:Repro_sim.Resource.t ->
   ?costs:Repro_sim.Cost.t ->
+  ?part:int * int ->
   ?observe:(string -> (unit -> unit) -> unit) ->
   fs:Repro_wafl.Fs.t ->
   base:string ->

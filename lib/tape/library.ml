@@ -36,6 +36,26 @@ let load_next t =
 
 let used_media t = Array.to_list t.written
 
+(* Position the stacker to continue appending: if the drive is empty but
+   cartridges have been written (a stacker reloaded from cold storage, or
+   mid-recovery), reload the last written cartridge and locate end of
+   data. With a cartridge already loaded, writes append where they are. *)
+let ensure_appendable t =
+  match Tape.loaded t.tape with
+  | Some _ -> ()
+  | None ->
+    let n = Array.length t.written in
+    if n > 0 then begin
+      swap_in t t.written.(n - 1);
+      Tape.seek_end t.tape
+    end
+
+(* The last written cartridge ends in a data record: a stream was cut off
+   before its filemark. *)
+let dangling_stream t =
+  let n = Array.length t.written in
+  n > 0 && Tape.media_ends_with_record t.written.(n - 1)
+
 let rewind_to_start t =
   if Array.length t.written = 0 then
     invalid_arg (Printf.sprintf "Library %s: nothing written" t.label);

@@ -28,6 +28,16 @@ val advance_for_read : t -> bool
 val used_media : t -> Tape.media list
 (** Cartridges written so far, in order (including the loaded one). *)
 
+val ensure_appendable : t -> unit
+(** If the drive is empty but cartridges exist, reload the last written
+    cartridge positioned at end of data, so new writes append. No-op when
+    a cartridge is loaded or nothing has been written. *)
+
+val dangling_stream : t -> bool
+(** True iff the last written cartridge ends in a data record rather than
+    a filemark: an interrupted stream that the engine must seal before
+    writing anything new (see {!Repro_backup.Engine}). *)
+
 val media_change_seconds : float
 (** Fixed robot exchange time charged per media change (120 s, typical for
     DLT stackers). *)

@@ -153,11 +153,13 @@ let write_record t s =
   let m = require_media t in
   let on_media = compressed_size t (String.length s) in
   if m.stored_bytes + on_media > t.p.capacity_bytes then raise End_of_tape;
+  Repro_fault.Fault.on_tape_write ~device:t.label ~record:t.pos;
   charge t ~payload:(String.length s) ~on_media;
   append t m (Rec (Bytes.of_string s))
 
 let write_filemark t =
   let m = require_media t in
+  Repro_fault.Fault.on_tape_write ~device:t.label ~record:t.pos;
   append t m Mark
 
 let read_record t =
@@ -165,6 +167,17 @@ let read_record t =
   if t.pos >= m.nitems then End_of_data
   else begin
     let item = m.items.(t.pos) in
+    (match item with
+    | Mark -> ()
+    | Rec _ -> (
+      (* The hook fires before the position advances, so a soft (transient)
+         error leaves the drive positioned to retry the same record. A hard
+         media error skips past the unreadable record: the drive cannot
+         recover it, and staying put would retry it forever. *)
+      try Repro_fault.Fault.on_tape_read ~device:t.label ~record:t.pos
+      with Repro_fault.Fault.Media_error _ as e ->
+        t.pos <- t.pos + 1;
+        raise e));
     t.pos <- t.pos + 1;
     match item with
     | Mark -> Filemark
@@ -172,6 +185,18 @@ let read_record t =
       charge t ~payload:(Bytes.length b) ~on_media:(compressed_size t (Bytes.length b));
       Record (Bytes.to_string b)
   end
+
+let charge_delay t secs =
+  if secs < 0.0 then invalid_arg "Tape.charge_delay";
+  t.busy <- t.busy +. secs;
+  Repro_sim.Resource.charge t.resource ~bytes:0 secs
+
+let seek_end t =
+  let m = require_media t in
+  t.pos <- m.nitems
+
+let media_ends_with_record m =
+  m.nitems > 0 && (match m.items.(m.nitems - 1) with Rec _ -> true | Mark -> false)
 
 let rewind t =
   ignore (require_media t);

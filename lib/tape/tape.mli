@@ -60,14 +60,33 @@ val loaded : t -> media option
 val write_record : t -> string -> unit
 (** Append a record at the current position, truncating anything beyond it.
     Raises [End_of_tape] if media capacity is exceeded, [No_media] if the
-    drive is empty. *)
+    drive is empty. An armed fault plane may raise
+    [Repro_fault.Fault.Transient] (soft write error, nothing written) or
+    [Repro_fault.Fault.Drive_dead]. *)
 
 val write_filemark : t -> unit
 
 type read_result = Record of string | Filemark | End_of_data
 
 val read_record : t -> read_result
-(** Read the item at the current position and advance past it. *)
+(** Read the item at the current position and advance past it. Injected
+    soft read errors raise [Repro_fault.Fault.Transient] {e without}
+    advancing (the drive retries in place); an injected hard media error
+    raises [Repro_fault.Fault.Media_error] {e after} advancing past the
+    unrecoverable record, so the stream can continue beyond it. *)
+
+val seek_end : t -> unit
+(** Position past the last item, so subsequent writes append instead of
+    truncating (locate-end-of-data, as on a real drive). *)
+
+val charge_delay : t -> float -> unit
+(** Charge [secs] of non-transfer busy time to the drive and its resource:
+    the cost of a drive's internal retry of a soft error. *)
+
+val media_ends_with_record : media -> bool
+(** True iff the cartridge's last item is a data record — i.e. a stream
+    was cut off before its terminating filemark (see
+    {!Library.ensure_appendable} and the engine's stream sealing). *)
 
 val rewind : t -> unit
 val skip_filemarks : t -> int -> unit

@@ -62,15 +62,39 @@ let source ?record_bytes:_ ?(skip_streams = 0) lib =
   done;
   { slib = lib; cur = ""; pos = 0; finished = false }
 
+(* A real drive retries soft read errors internally before surfacing
+   anything; model that with a small bounded in-place retry whose delay is
+   charged to the drive. Hard media errors are unrecoverable: the drive
+   has already positioned past the bad record, so the stream continues
+   with those bytes missing — the format layers (CRC resynchronization in
+   logical restore, record checksums in image restore) see the damage. *)
+let read_retry_attempts = 8
+let soft_retry_delay_s = 0.5
+
+let read_record_resilient lib =
+  let d = Library.drive lib in
+  let rec go attempt =
+    try Tape.read_record d
+    with Repro_fault.Fault.Transient _ when attempt < read_retry_attempts ->
+      Repro_fault.Fault.note_retry ~device:(Tape.label d) ~what:"tape read"
+        ~attempt ~delay_s:soft_retry_delay_s;
+      Tape.charge_delay d soft_retry_delay_s;
+      go (attempt + 1)
+  in
+  go 1
+
 let rec refill t =
   if not t.finished && t.pos >= String.length t.cur then begin
-    match Tape.read_record (Library.drive t.slib) with
+    match read_record_resilient t.slib with
     | Tape.Record s ->
       t.cur <- s;
       t.pos <- 0
     | Tape.Filemark -> t.finished <- true
     | Tape.End_of_data ->
       if Library.advance_for_read t.slib then refill t else t.finished <- true
+    | exception Repro_fault.Fault.Media_error { device; addr } ->
+      Repro_fault.Fault.note_skip ~device ~addr ~what:"unreadable record lost";
+      refill t
   end
 
 let input t n =

@@ -572,8 +572,21 @@ let cp_internal t ?capture () =
     }
   in
   let b = Fsinfo.encode info in
-  Volume.write t.vol Layout.fsinfo_vbn_primary b;
-  Volume.write t.vol Layout.fsinfo_vbn_backup b;
+  let write_fsinfo vbn ~primary =
+    match
+      Repro_fault.Fault.on_fsinfo_write ~device:(Volume.label t.vol) ~primary
+    with
+    | `Ok -> Volume.write t.vol vbn b
+    | `Torn ->
+      (* Torn write: only the first half of the block reaches the media;
+         the tail keeps its previous contents. The CRC catches it and the
+         mount falls back to the redundant copy. *)
+      let torn = Volume.read t.vol vbn in
+      Bytes.blit b 0 torn 0 (Bytes.length b / 2);
+      Volume.write t.vol vbn torn
+  in
+  write_fsinfo Layout.fsinfo_vbn_primary ~primary:true;
+  write_fsinfo Layout.fsinfo_vbn_backup ~primary:false;
   (* 8. epilogue *)
   t.cp_protect <- compute_protect t;
   (match t.nvram with Some nv -> Nvram.clear nv | None -> ());
@@ -589,13 +602,18 @@ let log_op t op =
   if not t.replaying then
     match t.nvram with
     | None -> ()
-    | Some nv ->
+    | Some nv -> (
       charge_nvram t (Nvram.op_size op);
-      if not (Nvram.append nv ~tag:t.gen op) then begin
+      match Nvram.append nv ~tag:t.gen op with
+      | true -> ()
+      | false ->
         (* NVRAM full: commit, which clears the log, then retry. *)
         cp_internal t ();
         if not (Nvram.append nv ~tag:t.gen op) then err "operation too large for NVRAM"
-      end
+      | exception Nvram.Failed label ->
+        (* Fail-stop: an unprotected mutation must not pretend to be
+           logged. The filer runs read-only until the NVRAM is replaced. *)
+        err "NVRAM %s has failed: operation not logged" label)
 
 let mutated t =
   t.ops_since_cp <- t.ops_since_cp + 1;

@@ -16,15 +16,21 @@ type op =
   | Set_qtree of { path : string; qtree : int }
   | Set_qtree_limit of { path : string; limit : int }
 
+exception Failed of string
+
 type t = {
+  label : string;
   capacity : int;
   mutable used : int;
   mutable entries : (int * op) list; (* newest first *)
+  mutable is_failed : bool;
 }
 
-let create ?(capacity_bytes = 32 * 1024 * 1024) () =
+let create ?(capacity_bytes = 32 * 1024 * 1024) ?(label = "nvram") () =
   if capacity_bytes <= 0 then invalid_arg "Nvram.create";
-  { capacity = capacity_bytes; used = 0; entries = [] }
+  { label; capacity = capacity_bytes; used = 0; entries = []; is_failed = false }
+
+let label t = t.label
 
 let capacity_bytes t = t.capacity
 let used_bytes t = t.used
@@ -53,6 +59,16 @@ let op_size op =
     String.length path + 4
 
 let append t ~tag op =
+  if t.is_failed then raise (Failed t.label);
+  (match Repro_fault.Fault.on_nvram_log ~device:t.label with
+  | `Ok -> ()
+  | `Lost ->
+    (* The hardware died under us: everything logged so far — and this
+       operation — is gone, and the log is unusable until replaced. *)
+    t.entries <- [];
+    t.used <- 0;
+    t.is_failed <- true;
+    raise (Failed t.label));
   let sz = op_size op in
   if t.used + sz > t.capacity then false
   else begin
@@ -62,11 +78,21 @@ let append t ~tag op =
   end
 
 let entries_tagged t ~tag =
-  List.rev
-    (List.filter_map (fun (g, op) -> if g = tag then Some op else None) t.entries)
+  if t.is_failed then []
+  else
+    List.rev
+      (List.filter_map (fun (g, op) -> if g = tag then Some op else None) t.entries)
 
 let clear t =
   t.entries <- [];
   t.used <- 0
 
-let fail = clear
+let fail t =
+  clear t;
+  t.is_failed <- true
+
+let failed t = t.is_failed
+
+let replace t =
+  clear t;
+  t.is_failed <- false

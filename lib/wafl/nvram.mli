@@ -31,23 +31,46 @@ type op =
 
 type t
 
-val create : ?capacity_bytes:int -> unit -> t
-(** Default capacity 32 MB, as on the paper's F630. *)
+exception Failed of string
+(** Raised (with the device label) by {!append} once the NVRAM has
+    {!fail}ed: a dead log must not silently accept operations it cannot
+    protect. *)
 
+val create : ?capacity_bytes:int -> ?label:string -> unit -> t
+(** Default capacity 32 MB, as on the paper's F630. [label] (default
+    ["nvram"]) addresses the device in fault plans
+    ({!Repro_fault.Fault}). *)
+
+val label : t -> string
 val capacity_bytes : t -> int
 val used_bytes : t -> int
 
 val append : t -> tag:int -> op -> bool
 (** [false] if the entry does not fit: the caller must take a consistency
-    point (which clears the log) and retry. *)
+    point (which clears the log) and retry. Raises {!Failed} if the NVRAM
+    has failed (sticky), or at the moment an armed fault plane's
+    [Nvram_loss] fires — the contents are lost and the log enters the
+    failed state. *)
 
 val entries_tagged : t -> tag:int -> op list
+(** Empty once the NVRAM has failed: the contents are gone, and a mount
+    replays nothing (the file system stays self-consistent at its last
+    consistency point — the property §2.2 argues for). *)
+
 val clear : t -> unit
-(** After a successful consistency point, or on a clean shutdown. *)
+(** After a successful consistency point, or on a clean shutdown. An
+    administrative clear: the log keeps working. *)
 
 val fail : t -> unit
-(** Hardware failure: contents lost. Subsequent mounts replay nothing; the
-    file system stays self-consistent (the property §2.2 argues for). *)
+(** Hardware failure: contents lost {e and} the log enters a sticky
+    failed state — subsequent {!append}s raise {!Failed} until
+    {!replace}. Distinct from {!clear}, which merely empties a healthy
+    log. *)
+
+val failed : t -> bool
+
+val replace : t -> unit
+(** Install replacement hardware: an empty, working log. *)
 
 val op_size : op -> int
 (** Serialized size, for capacity accounting. *)

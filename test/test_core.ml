@@ -32,9 +32,11 @@ let entry ?(strategy = Strategy.Logical) ?(level = 0) ?(snapshot = "")
     bytes = 0;
     drive = 0;
     stream = 0;
+    streams = [ 0 ];
     media = [];
     snapshot;
     base_snapshot;
+    degraded = 0;
   }
 
 let test_catalog_ids_and_persistence () =

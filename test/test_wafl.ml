@@ -273,7 +273,22 @@ let test_nvram_failure_keeps_consistency () =
   let fs2 = Fs.mount ~nvram vol in
   checks "old data fine" "data" (Fs.read fs2 "/a" ~offset:0 ~len:10);
   checkb "logged op lost" true (Fs.lookup fs2 "/b" = None);
-  fsck_clean fs2
+  fsck_clean fs2;
+  (* The failure is sticky: a dead log must not silently accept operations
+     it cannot protect. Fail-stop until the hardware is replaced. *)
+  checkb "nvram reports failed" true (Nvram.failed nvram);
+  (match Fs.create fs2 "/c" ~perms:0o644 with
+  | _ -> Alcotest.fail "op on failed NVRAM should raise"
+  | exception Fs.Error _ -> ());
+  Nvram.replace nvram;
+  (* Use a fresh path: the fail-stop create above may have mutated the live
+     tree before the log raised, so "/c" can already exist in memory. *)
+  ignore (Fs.create fs2 "/d" ~perms:0o644);
+  Fs.write fs2 "/d" ~offset:0 "post-replace";
+  Fs.crash fs2;
+  let fs3 = Fs.mount ~nvram vol in
+  checks "replacement logs again" "post-replace" (Fs.read fs3 "/d" ~offset:0 ~len:12);
+  fsck_clean fs3
 
 let test_snapshot_basic () =
   let fs, _ = make_fs () in
