@@ -1,17 +1,9 @@
 (* backupctl — operate a simulated filer kept in a store file.
 
-     backupctl init filer.store --data-mib 8
-     backupctl ls filer.store /data
-     backupctl backup filer.store --strategy physical
-     backupctl backup filer.store --strategy logical --subtree /data
-     backupctl catalog filer.store
-     backupctl restore filer.store --label /data --target /restored
-     backupctl disaster filer.store --label / --output recovered.store
-     backupctl verify filer.store --label /
-     backupctl fsck filer.store
-
    The store file holds the volume image, the tape stackers and their
-   cartridges, the catalog and the dumpdates database. *)
+   cartridges, the catalog and the dumpdates database. The command list
+   lives in [summaries] below — the single source for every usage and
+   help string; run `backupctl --help` for the rendered version. *)
 
 module Volume = Repro_block.Volume
 module Library = Repro_tape.Library
@@ -27,6 +19,7 @@ module Ager = Repro_workload.Ager
 module Fault = Repro_fault.Fault
 module Report = Repro_backup.Report
 module Disk = Repro_block.Disk
+module Obs = Repro_obs.Obs
 
 open Cmdliner
 
@@ -49,6 +42,82 @@ let handle f =
   | Repro_util.Serde.Corrupt m ->
     Format.eprintf "error: corrupt store: %s@." m;
     1
+
+(* ---------------------------- summaries ------------------------------ *)
+
+(* One line per command: feeds each subcommand's [Cmd.info] doc AND the
+   generated command list in the top-level help, so the two can't drift. *)
+let summaries =
+  [
+    ("init", "Create a new simulated filer store");
+    ("ls", "List a directory");
+    ("cat", "Print a file's contents");
+    ("info", "Show volume statistics");
+    ("fsck", "Check (and optionally repair) file-system consistency");
+    ("mkdir", "Create a directory");
+    ("put", "Create or overwrite a file");
+    ("rm", "Remove a file");
+    ("age", "Churn /data to simulate daily activity");
+    ("snap", "Manage snapshots");
+    ("quota", "Manage quota-tree limits");
+    ("ln", "Create a hard or symbolic link");
+    ("backup", "Run a backup (supports --parts, --resume, --trace-out)");
+    ("catalog", "Show the backup catalog (including resumable in-flight jobs)");
+    ("restore", "Logical restore (full chain or selected paths)");
+    ("browse", "Interactively browse a dump and extract files (restore -i)");
+    ("disaster", "Recreate the volume from the physical chain into a new store");
+    ("verify", "Checksum-verify the physical backup chain");
+    ( "fault",
+      "Run a backup drill under an armed fault plan (--inject, --seed, \
+       --revive) and print the journal" );
+    ("trace", "Run a backup and export its Chrome trace_event JSON");
+    ("metrics", "Run a backup and print its metrics registry");
+  ]
+
+let summary name = List.assoc name summaries
+
+(* --------------------------- observability --------------------------- *)
+
+let write_file path contents =
+  let oc = open_out_bin path in
+  output_string oc contents;
+  close_out oc
+
+let trace_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace-out" ] ~docv:"FILE"
+        ~doc:
+          "Write a Chrome trace_event JSON of this run to $(docv) (load it in \
+           Perfetto or about:tracing).")
+
+let metrics_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics-out" ] ~docv:"FILE"
+        ~doc:"Write a JSONL metrics dump of this run to $(docv).")
+
+(* Run [f] under a freshly armed obs plane and export what it recorded.
+   The exports happen in the [finally] so an interrupted run (a fault
+   drill dying mid-backup) still leaves its trace behind. *)
+let run_with_obs ?trace_out ?metrics_out f =
+  let o = Obs.create () in
+  Obs.arm o;
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.disarm ();
+      Option.iter (fun p -> write_file p (Obs.chrome_trace o)) trace_out;
+      Option.iter (fun p -> write_file p (Obs.metrics_jsonl o)) metrics_out)
+    (fun () -> f o)
+
+(* Arm a plane only when some export was requested: the common path pays
+   nothing. *)
+let with_obs trace_out metrics_out f =
+  match (trace_out, metrics_out) with
+  | None, None -> f None
+  | _ -> run_with_obs ?trace_out ?metrics_out (fun o -> f (Some o))
 
 (* ------------------------------- args -------------------------------- *)
 
@@ -92,7 +161,7 @@ let cmd_init =
   let drives = Arg.(value & opt int 2 & info [ "drives" ] ~doc:"Tape stackers.") in
   let empty = Arg.(value & flag & info [ "empty" ] ~doc:"Skip synthetic data.") in
   Cmd.v
-    (Cmd.info "init" ~doc:"Create a new simulated filer store")
+    (Cmd.info "init" ~doc:(summary "init"))
     Term.(const run $ store_arg $ data_mib $ seed $ drives $ empty)
 
 (* ----------------------------- inspection ---------------------------- *)
@@ -117,7 +186,7 @@ let cmd_ls =
             false))
   in
   Cmd.v
-    (Cmd.info "ls" ~doc:"List a directory")
+    (Cmd.info "ls" ~doc:(summary "ls"))
     Term.(const run $ store_arg $ path_pos 1 "Directory to list.")
 
 let cmd_cat =
@@ -130,7 +199,7 @@ let cmd_cat =
             false))
   in
   Cmd.v
-    (Cmd.info "cat" ~doc:"Print a file's contents")
+    (Cmd.info "cat" ~doc:(summary "cat"))
     Term.(const run $ store_arg $ path_pos 1 "File to print.")
 
 let cmd_info =
@@ -148,7 +217,7 @@ let cmd_info =
               (Fs.snapshots fs);
             false))
   in
-  Cmd.v (Cmd.info "info" ~doc:"Show volume statistics") Term.(const run $ store_arg)
+  Cmd.v (Cmd.info "info" ~doc:(summary "info")) Term.(const run $ store_arg)
 
 let cmd_fsck =
   let run store repair =
@@ -169,7 +238,7 @@ let cmd_fsck =
   in
   let repair = Arg.(value & flag & info [ "repair" ] ~doc:"Fix what can be fixed.") in
   Cmd.v
-    (Cmd.info "fsck" ~doc:"Check (and optionally repair) file-system consistency")
+    (Cmd.info "fsck" ~doc:(summary "fsck"))
     Term.(const run $ store_arg $ repair)
 
 (* ----------------------------- mutation ------------------------------ *)
@@ -182,7 +251,7 @@ let cmd_mkdir =
             true))
   in
   Cmd.v
-    (Cmd.info "mkdir" ~doc:"Create a directory")
+    (Cmd.info "mkdir" ~doc:(summary "mkdir"))
     Term.(const run $ store_arg $ path_pos 1 "Directory to create.")
 
 let cmd_put =
@@ -200,7 +269,7 @@ let cmd_put =
     Arg.(required & opt (some string) None & info [ "data" ] ~doc:"Content to write.")
   in
   Cmd.v
-    (Cmd.info "put" ~doc:"Create or overwrite a file")
+    (Cmd.info "put" ~doc:(summary "put"))
     Term.(const run $ store_arg $ path_pos 1 "File path." $ data)
 
 let cmd_rm =
@@ -211,7 +280,7 @@ let cmd_rm =
             true))
   in
   Cmd.v
-    (Cmd.info "rm" ~doc:"Remove a file")
+    (Cmd.info "rm" ~doc:(summary "rm"))
     Term.(const run $ store_arg $ path_pos 1 "File to remove.")
 
 let cmd_age =
@@ -228,7 +297,7 @@ let cmd_age =
   let rounds = Arg.(value & opt int 5 & info [ "rounds" ] ~doc:"Churn rounds.") in
   let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Churn seed.") in
   Cmd.v
-    (Cmd.info "age" ~doc:"Churn /data to simulate daily activity")
+    (Cmd.info "age" ~doc:(summary "age"))
     Term.(const run $ store_arg $ rounds $ seed)
 
 (* ----------------------------- snapshots ----------------------------- *)
@@ -262,7 +331,7 @@ let cmd_snap =
   in
   let snap_name = Arg.(value & pos 2 (some string) None & info [] ~docv:"NAME") in
   Cmd.v
-    (Cmd.info "snap" ~doc:"Manage snapshots")
+    (Cmd.info "snap" ~doc:(summary "snap"))
     Term.(const run $ store_arg $ action $ snap_name)
 
 (* ------------------------------ backup ------------------------------- *)
@@ -289,46 +358,103 @@ let report_entry (e : Catalog.entry) =
        Printf.sprintf " — DEGRADED: %d unreadable file(s) skipped" e.Catalog.degraded
      else "")
 
+(* The backup job description, shared — identically — by the backup,
+   fault, trace and metrics commands. *)
+let strategy_arg =
+  Arg.(
+    required
+    & opt (some strategy_conv) None
+    & info [ "strategy" ] ~doc:"logical or physical.")
+
+let level_arg =
+  Arg.(value & opt (some int) None & info [ "level" ] ~doc:"Dump level (0-9).")
+
+let subtree_arg =
+  Arg.(value & opt string "/" & info [ "subtree" ] ~doc:"Subtree (logical only).")
+
+let drive_arg = Arg.(value & opt int 0 & info [ "drive" ] ~doc:"Stacker index.")
+
+let parts_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "parts" ]
+        ~doc:"Split the job into this many independent tape streams.")
+
+let resume_arg =
+  Arg.(
+    value & flag
+    & info [ "resume" ]
+        ~doc:
+          "Resume the interrupted backup of this label: only unfinished parts \
+           are dumped.")
+
+let backup_args =
+  let tup strategy level subtree drive parts resume =
+    (strategy, level, subtree, drive, parts, resume)
+  in
+  Term.(
+    const tup $ strategy_arg $ level_arg $ subtree_arg $ drive_arg $ parts_arg
+    $ resume_arg)
+
+let run_backup engine (strategy, level, subtree, drive, parts, resume) =
+  Engine.backup engine ~strategy ?level ~subtree ~drive ~parts ~resume ()
+
 let cmd_backup =
-  let run store strategy level subtree drive parts resume =
+  let run store args trace_out metrics_out =
     handle (fun () ->
         with_store store (fun engine ->
-            let entry =
-              Engine.backup engine ~strategy ?level ~subtree ~drive ~parts ~resume ()
-            in
-            report_entry entry;
+            with_obs trace_out metrics_out (fun _obs ->
+                report_entry (run_backup engine args));
             true))
   in
-  let strategy =
+  Cmd.v
+    (Cmd.info "backup" ~doc:(summary "backup"))
+    Term.(const run $ store_arg $ backup_args $ trace_out_arg $ metrics_out_arg)
+
+let cmd_trace =
+  let run store args out =
+    handle (fun () ->
+        with_store store (fun engine ->
+            run_with_obs ~trace_out:out (fun o ->
+                report_entry (run_backup engine args);
+                say "trace: %d events written to %s"
+                  (List.length (Obs.events o))
+                  out);
+            true))
+  in
+  let out =
     Arg.(
-      required
-      & opt (some strategy_conv) None
-      & info [ "strategy" ] ~doc:"logical or physical.")
-  in
-  let level =
-    Arg.(value & opt (some int) None & info [ "level" ] ~doc:"Dump level (0-9).")
-  in
-  let subtree =
-    Arg.(value & opt string "/" & info [ "subtree" ] ~doc:"Subtree (logical only).")
-  in
-  let drive = Arg.(value & opt int 0 & info [ "drive" ] ~doc:"Stacker index.") in
-  let parts =
-    Arg.(
-      value & opt int 1
-      & info [ "parts" ]
-          ~doc:"Split the job into this many independent tape streams.")
-  in
-  let resume =
-    Arg.(
-      value & flag
-      & info [ "resume" ]
-          ~doc:
-            "Resume the interrupted backup of this label: only unfinished parts \
-             are dumped.")
+      value & opt string "trace.json"
+      & info [ "out"; "o" ] ~docv:"FILE" ~doc:"Trace output file.")
   in
   Cmd.v
-    (Cmd.info "backup" ~doc:"Run a backup")
-    Term.(const run $ store_arg $ strategy $ level $ subtree $ drive $ parts $ resume)
+    (Cmd.info "trace" ~doc:(summary "trace"))
+    Term.(const run $ store_arg $ backup_args $ out)
+
+let cmd_metrics =
+  let run store args out jsonl =
+    handle (fun () ->
+        with_store store (fun engine ->
+            run_with_obs ?metrics_out:out (fun o ->
+                report_entry (run_backup engine args);
+                if jsonl then print_string (Obs.metrics_jsonl o)
+                else Obs.pp_summary Format.std_formatter o);
+            true))
+  in
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out"; "o" ] ~docv:"FILE" ~doc:"Also write the JSONL dump here.")
+  in
+  let jsonl =
+    Arg.(
+      value & flag
+      & info [ "jsonl" ] ~doc:"Print JSONL instead of the summary table.")
+  in
+  Cmd.v
+    (Cmd.info "metrics" ~doc:(summary "metrics"))
+    Term.(const run $ store_arg $ backup_args $ out $ jsonl)
 
 let cmd_catalog =
   let run store =
@@ -357,23 +483,27 @@ let cmd_catalog =
               (Catalog.checkpoints (Engine.catalog engine));
             false))
   in
-  Cmd.v (Cmd.info "catalog" ~doc:"Show the backup catalog") Term.(const run $ store_arg)
+  Cmd.v (Cmd.info "catalog" ~doc:(summary "catalog")) Term.(const run $ store_arg)
 
 (* ------------------------------ restore ------------------------------ *)
 
 let cmd_restore =
-  let run store label target select =
+  let run store label target select trace_out metrics_out =
     handle (fun () ->
         with_store store (fun engine ->
             let fs = Engine.fs engine in
             let select = match select with [] -> None | l -> Some l in
-            let results = Engine.restore_logical engine ~label ~fs ~target ?select () in
-            List.iteri
-              (fun i (r : Restore.apply_result) ->
-                say "stream %d: %d files restored, %d dirs created, %d deleted, %d bytes"
-                  i r.Restore.files_restored r.Restore.dirs_created
-                  r.Restore.files_deleted r.Restore.bytes_restored)
-              results;
+            with_obs trace_out metrics_out (fun _obs ->
+                let results =
+                  Engine.restore_logical engine ~label ~fs ~target ?select ()
+                in
+                List.iteri
+                  (fun i (r : Restore.apply_result) ->
+                    say
+                      "stream %d: %d files restored, %d dirs created, %d deleted, %d bytes"
+                      i r.Restore.files_restored r.Restore.dirs_created
+                      r.Restore.files_deleted r.Restore.bytes_restored)
+                  results);
             true))
   in
   let label =
@@ -388,8 +518,10 @@ let cmd_restore =
       & info [ "select" ] ~doc:"Restore only this path (repeatable).")
   in
   Cmd.v
-    (Cmd.info "restore" ~doc:"Logical restore (full chain or selected paths)")
-    Term.(const run $ store_arg $ label $ target $ select)
+    (Cmd.info "restore" ~doc:(summary "restore"))
+    Term.(
+      const run $ store_arg $ label $ target $ select $ trace_out_arg
+      $ metrics_out_arg)
 
 let cmd_disaster =
   let run store label output =
@@ -422,8 +554,7 @@ let cmd_disaster =
     Arg.(required & opt (some string) None & info [ "output" ] ~doc:"New store file.")
   in
   Cmd.v
-    (Cmd.info "disaster"
-       ~doc:"Recreate the volume from the physical chain into a new store")
+    (Cmd.info "disaster" ~doc:(summary "disaster"))
     Term.(const run $ store_arg $ label $ output)
 
 let cmd_verify =
@@ -440,7 +571,7 @@ let cmd_verify =
       required & opt (some string) None & info [ "label" ] ~doc:"Physical backup label.")
   in
   Cmd.v
-    (Cmd.info "verify" ~doc:"Checksum-verify the physical backup chain")
+    (Cmd.info "verify" ~doc:(summary "verify"))
     Term.(const run $ store_arg $ label)
 
 (* ------------------------------ faults ------------------------------- *)
@@ -510,49 +641,41 @@ let inject_conv =
   Arg.conv (parse, print)
 
 let cmd_fault =
-  let run store strategy level subtree drive parts seed injects revive =
+  let run store strategy level subtree drive parts seed injects revive trace_out
+      metrics_out =
     handle (fun () ->
         with_store store (fun engine ->
             let plane = Fault.plan ~seed injects in
-            Fault.with_armed plane (fun () ->
-                (match
-                   Engine.backup engine ~strategy ?level ~subtree ~drive ~parts ()
-                 with
-                | entry -> report_entry entry
-                | exception
-                    (( Fault.Drive_dead _ | Fault.Media_error _ | Fault.Transient _
-                     | Disk.Disk_failed _ | Fs.Error _ ) as e) ->
-                  say "backup interrupted: %s" (Printexc.to_string e);
-                  if revive then begin
-                    List.iter
-                      (fun spec ->
-                        match spec with
-                        | Fault.Tape_drive_death { device; _ }
-                          when Fault.dead plane ~device ->
-                          Fault.revive plane ~device
-                        | _ -> ())
-                      injects;
-                    report_entry
-                      (Engine.backup engine ~strategy ~subtree ~resume:true ())
-                  end);
-                Report.faults Format.std_formatter ~plane ~engine);
+            (* A drill always records: the report reads its counters from
+               the metrics registry, and the trace carries every injected
+               fault as an instant inside the span it hit. *)
+            run_with_obs ?trace_out ?metrics_out (fun obs ->
+                Fault.with_armed plane (fun () ->
+                    (match
+                       Engine.backup engine ~strategy ?level ~subtree ~drive
+                         ~parts ()
+                     with
+                    | entry -> report_entry entry
+                    | exception
+                        (( Fault.Drive_dead _ | Fault.Media_error _
+                         | Fault.Transient _ | Disk.Disk_failed _ | Fs.Error _
+                         ) as e) ->
+                      say "backup interrupted: %s" (Printexc.to_string e);
+                      if revive then begin
+                        List.iter
+                          (fun spec ->
+                            match spec with
+                            | Fault.Tape_drive_death { device; _ }
+                              when Fault.dead plane ~device ->
+                              Fault.revive plane ~device
+                            | _ -> ())
+                          injects;
+                        report_entry
+                          (Engine.backup engine ~strategy ~subtree ~resume:true
+                             ())
+                      end);
+                    Report.faults Format.std_formatter ~obs ~plane ~engine ()));
             true))
-  in
-  let strategy =
-    Arg.(
-      required
-      & opt (some strategy_conv) None
-      & info [ "strategy" ] ~doc:"logical or physical.")
-  in
-  let level =
-    Arg.(value & opt (some int) None & info [ "level" ] ~doc:"Dump level (0-9).")
-  in
-  let subtree =
-    Arg.(value & opt string "/" & info [ "subtree" ] ~doc:"Subtree (logical only).")
-  in
-  let drive = Arg.(value & opt int 0 & info [ "drive" ] ~doc:"Stacker index.") in
-  let parts =
-    Arg.(value & opt int 1 & info [ "parts" ] ~doc:"Independent tape streams.")
   in
   let seed = Arg.(value & opt int 0 & info [ "seed" ] ~doc:"Fault-plan PRNG seed.") in
   let injects =
@@ -575,11 +698,10 @@ let cmd_fault =
              resume the job.")
   in
   Cmd.v
-    (Cmd.info "fault"
-       ~doc:"Run a backup drill under an armed fault plan and print the journal")
+    (Cmd.info "fault" ~doc:(summary "fault"))
     Term.(
-      const run $ store_arg $ strategy $ level $ subtree $ drive $ parts $ seed
-      $ injects $ revive)
+      const run $ store_arg $ strategy_arg $ level_arg $ subtree_arg $ drive_arg
+      $ parts_arg $ seed $ injects $ revive $ trace_out_arg $ metrics_out_arg)
 
 let cmd_quota =
   let run store action path limit =
@@ -619,7 +741,7 @@ let cmd_quota =
   let qpath = Arg.(required & pos 2 (some string) None & info [] ~docv:"PATH") in
   let limit = Arg.(value & opt (some int) None & info [ "limit" ] ~doc:"Byte limit.") in
   Cmd.v
-    (Cmd.info "quota" ~doc:"Manage quota-tree limits")
+    (Cmd.info "quota" ~doc:(summary "quota"))
     Term.(const run $ store_arg $ action $ qpath $ limit)
 
 let cmd_ln =
@@ -638,7 +760,7 @@ let cmd_ln =
   in
   let dst = Arg.(required & pos 2 (some string) None & info [] ~docv:"LINK") in
   Cmd.v
-    (Cmd.info "ln" ~doc:"Create a hard or symbolic link")
+    (Cmd.info "ln" ~doc:(summary "ln"))
     Term.(const run $ store_arg $ symbolic $ src $ dst)
 
 (* ------------------------- interactive restore ----------------------- *)
@@ -753,36 +875,52 @@ let cmd_browse =
     Arg.(value & opt string "/restored" & info [ "target" ] ~doc:"Extraction target.")
   in
   Cmd.v
-    (Cmd.info "browse"
-       ~doc:"Interactively browse a dump and extract files (restore -i)")
+    (Cmd.info "browse" ~doc:(summary "browse"))
     Term.(const run $ store_arg $ label $ target)
 
 (* -------------------------------- main -------------------------------- *)
 
+let commands =
+  [
+    cmd_init;
+    cmd_ls;
+    cmd_cat;
+    cmd_info;
+    cmd_fsck;
+    cmd_mkdir;
+    cmd_put;
+    cmd_rm;
+    cmd_age;
+    cmd_snap;
+    cmd_quota;
+    cmd_ln;
+    cmd_backup;
+    cmd_catalog;
+    cmd_restore;
+    cmd_browse;
+    cmd_disaster;
+    cmd_verify;
+    cmd_fault;
+    cmd_trace;
+    cmd_metrics;
+  ]
+
 let () =
+  (* Every command must have a summary and every summary a command; a
+     mismatch is a bug in this file, caught at startup. *)
+  let names = List.map Cmd.name commands in
+  assert (List.sort compare names = List.sort compare (List.map fst summaries));
   let doc = "operate a simulated WAFL-style filer with logical and physical backup" in
-  let info = Cmd.info "backupctl" ~doc in
-  exit
-    (Cmd.eval'
-       (Cmd.group info
-          [
-            cmd_init;
-            cmd_ls;
-            cmd_cat;
-            cmd_info;
-            cmd_fsck;
-            cmd_mkdir;
-            cmd_put;
-            cmd_rm;
-            cmd_age;
-            cmd_snap;
-            cmd_quota;
-            cmd_ln;
-            cmd_backup;
-            cmd_catalog;
-            cmd_restore;
-            cmd_browse;
-            cmd_disaster;
-            cmd_verify;
-            cmd_fault;
-          ]))
+  let man =
+    [
+      `S Cmdliner.Manpage.s_description;
+      `P "Commands (generated from one summary table):";
+      `Pre
+        (String.concat "\n"
+           (List.map
+              (fun (name, doc) -> Printf.sprintf "  %-10s %s" name doc)
+              summaries));
+    ]
+  in
+  let info = Cmd.info "backupctl" ~doc ~man in
+  exit (Cmd.eval' (Cmd.group info commands))

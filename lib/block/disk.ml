@@ -51,7 +51,7 @@ let check_access t dbn =
 let near_distance = 128
 let near_ms = 2.5
 
-let charge t dbn nbytes =
+let charge t ~op dbn nbytes =
   let distance = abs (dbn - t.head) in
   let position_ms =
     if t.head >= 0 && distance = 0 then 0.0
@@ -66,6 +66,9 @@ let charge t dbn nbytes =
   t.head <- dbn + 1;
   t.busy <- t.busy +. service;
   t.bytes <- t.bytes + nbytes;
+  (* guard keeps the disabled plane to one load-and-branch per block *)
+  if Repro_obs.Obs.enabled () then
+    Repro_obs.Obs.io ~op ~device:t.label ~addr:dbn ~bytes:nbytes service;
   match t.resource with
   | Some r -> Repro_sim.Resource.charge r ~bytes:nbytes (service *. t.service_scale)
   | None -> ()
@@ -83,7 +86,7 @@ let read t dbn =
   check_access t dbn;
   hook t (fun () -> Repro_fault.Fault.on_disk_read ~device:t.label ~addr:dbn);
   t.reads <- t.reads + 1;
-  charge t dbn Block.size;
+  charge t ~op:"disk.read" dbn Block.size;
   match t.data.(dbn) with Some b -> Bytes.copy b | None -> Block.zero ()
 
 let write t dbn b =
@@ -91,7 +94,7 @@ let write t dbn b =
   check_access t dbn;
   hook t (fun () -> Repro_fault.Fault.on_disk_write ~device:t.label ~addr:dbn);
   t.writes <- t.writes + 1;
-  charge t dbn Block.size;
+  charge t ~op:"disk.write" dbn Block.size;
   t.data.(dbn) <- Some (Bytes.copy b)
 
 let fail t = t.is_failed <- true

@@ -1,4 +1,5 @@
 module Fault = Repro_fault.Fault
+module Obs = Repro_obs.Obs
 
 type t = {
   label : string;
@@ -61,18 +62,23 @@ let read_disk_repairing t di stripe =
   | b -> b
   | exception Disk.Disk_failed _ -> reconstruct t ~missing:di stripe
   | exception Fault.Media_error { device; addr } ->
-    let b =
-      try reconstruct t ~missing:di stripe
-      with Disk.Disk_failed _ ->
-        (* double fault: a reconstruction source is missing too, so the
-           block really is lost — surface it as the media error it is *)
-        raise (Fault.Media_error { device; addr })
-    in
-    (try Disk.write disk stripe b
-     with Disk.Disk_failed _ -> () (* died before the rewrite: serve degraded *));
-    t.media_repairs <- t.media_repairs + 1;
-    Fault.note_repair ~device ~addr;
-    Bytes.copy b
+    Obs.with_span "raid.repair"
+      ~attrs:[ ("device", Obs.Str device); ("addr", Obs.Int addr) ]
+      (fun () ->
+        let b =
+          try reconstruct t ~missing:di stripe
+          with Disk.Disk_failed _ ->
+            (* double fault: a reconstruction source is missing too, so the
+               block really is lost — surface it as the media error it is *)
+            raise (Fault.Media_error { device; addr })
+        in
+        (try Disk.write disk stripe b
+         with Disk.Disk_failed _ ->
+           () (* died before the rewrite: serve degraded *));
+        t.media_repairs <- t.media_repairs + 1;
+        Obs.count "raid.media_repairs" 1;
+        Fault.note_repair ~device ~addr;
+        Bytes.copy b)
 
 let media_repairs t = t.media_repairs
 

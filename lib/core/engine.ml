@@ -13,6 +13,7 @@ module Filter = Repro_dump.Filter
 module Image_dump = Repro_image.Image_dump
 module Image_restore = Repro_image.Image_restore
 module Retry = Repro_fault.Retry
+module Obs = Repro_obs.Obs
 
 type t = {
   e_fs : Fs.t;
@@ -98,15 +99,20 @@ let fresh_checkpoint t ~strategy ~level ~subtree ~drive ~label ~parts =
   | None -> ());
   let date = Fs.now t.e_fs in
   t.snap_seq <- t.snap_seq + 1;
+  let snapshot_create name =
+    Obs.with_span "creating snapshot"
+      ~attrs:[ ("snapshot", Obs.Str name) ]
+      (fun () -> Fs.snapshot_create t.e_fs name)
+  in
   let snap, base =
     match strategy with
     | Strategy.Logical ->
       let snap = Printf.sprintf "dump.%d" t.snap_seq in
-      Fs.snapshot_create t.e_fs snap;
+      snapshot_create snap;
       (snap, "")
     | Strategy.Physical ->
       let snap = Printf.sprintf "image.%d" t.snap_seq in
-      Fs.snapshot_create t.e_fs snap;
+      snapshot_create snap;
       if level = 0 then (snap, "")
       else (
         match last_physical_snapshot t ~label with
@@ -129,9 +135,8 @@ let fresh_checkpoint t ~strategy ~level ~subtree ~drive ~label ~parts =
     ck_done = [];
   }
 
-let backup t ~strategy ?(level = 0) ?(subtree = "/") ?exclude ?(drive = 0) ?label
-    ?(parts = 1) ?(resume = false) () =
-  let label = match label with Some l -> l | None -> subtree in
+let do_backup t ~strategy ~level ~subtree ?exclude ~drive ~label ~parts ~resume
+    () =
   if parts < 1 then invalid_arg "Engine.backup: parts must be >= 1";
   let ck =
     if resume then (
@@ -147,6 +152,12 @@ let backup t ~strategy ?(level = 0) ?(subtree = "/") ?exclude ?(drive = 0) ?labe
   let drive = ck.Catalog.ck_drive in
   let parts = ck.Catalog.ck_parts in
   let date = ck.Catalog.ck_date in
+  Obs.annotate
+    [
+      ("level", Obs.Int level);
+      ("parts", Obs.Int parts);
+      ("snapshot", Obs.Str ck.Catalog.ck_snapshot);
+    ];
   let lib = t.libs.(drive) in
   (* Seal whatever stream the interrupting fault cut off. *)
   seal_dangling t ~drive;
@@ -166,6 +177,9 @@ let backup t ~strategy ?(level = 0) ?(subtree = "/") ?exclude ?(drive = 0) ?labe
     List.exists (fun (d : Catalog.part_done) -> d.Catalog.part = p) !done_parts
   in
   let run_part p =
+    Obs.with_span "part"
+      ~attrs:[ ("part", Obs.Int (p + 1)); ("parts", Obs.Int parts) ]
+    @@ fun () ->
     let bytes, degraded =
       Retry.run ~policy:t.retry
         ~charge:(charge_backoff t)
@@ -219,9 +233,14 @@ let backup t ~strategy ?(level = 0) ?(subtree = "/") ?exclude ?(drive = 0) ?labe
     List.fold_left (fun a (d : Catalog.part_done) -> a + d.Catalog.degraded) 0 done_list
   in
   Catalog.clear_checkpoint t.cat ~strategy ~label;
+  let snapshot_delete name =
+    Obs.with_span "deleting snapshot"
+      ~attrs:[ ("snapshot", Obs.Str name) ]
+      (fun () -> Fs.snapshot_delete t.e_fs name)
+  in
   (match strategy with
   | Strategy.Logical ->
-    Fs.snapshot_delete t.e_fs ck.Catalog.ck_snapshot;
+    snapshot_delete ck.Catalog.ck_snapshot;
     (* Recorded only now, with every part sealed: a job that failed midway
        must not make the next incremental's base date lie. *)
     Dumpdates.record t.dd ~label ~level ~date
@@ -229,7 +248,7 @@ let backup t ~strategy ?(level = 0) ?(subtree = "/") ?exclude ?(drive = 0) ?labe
     (* The old base has served its purpose; the new snapshot anchors the
        next incremental. *)
     if ck.Catalog.ck_base_snapshot <> "" then
-      Fs.snapshot_delete t.e_fs ck.Catalog.ck_base_snapshot);
+      snapshot_delete ck.Catalog.ck_base_snapshot);
   Catalog.add t.cat
     {
       Catalog.id = 0;
@@ -249,6 +268,25 @@ let backup t ~strategy ?(level = 0) ?(subtree = "/") ?exclude ?(drive = 0) ?labe
       base_snapshot = ck.Catalog.ck_base_snapshot;
       degraded;
     }
+
+let backup t ~strategy ?(level = 0) ?(subtree = "/") ?exclude ?(drive = 0)
+    ?label ?(parts = 1) ?(resume = false) () =
+  let label = match label with Some l -> l | None -> subtree in
+  Obs.with_span "engine.backup"
+    ~attrs:
+      [
+        ("strategy", Obs.Str (Strategy.to_string strategy));
+        ("label", Obs.Str label);
+        ("resume", Obs.Bool resume);
+      ]
+    (fun () ->
+      let entry =
+        do_backup t ~strategy ~level ~subtree ?exclude ~drive ~label ~parts
+          ~resume ()
+      in
+      Obs.set_gauge "fs.used_blocks" (Float.of_int (Fs.used_blocks t.e_fs));
+      Obs.set_gauge "fs.free_blocks" (Float.of_int (Fs.free_blocks t.e_fs));
+      entry)
 
 let source_at t (e : Catalog.entry) stream =
   Tapeio.source ~skip_streams:stream t.libs.(e.Catalog.drive)
@@ -287,6 +325,9 @@ let apply_entry t session ?select (e : Catalog.entry) =
        ~zero:[])
 
 let restore_logical t ~label ~fs ~target ?select () =
+  Obs.with_span "engine.restore"
+    ~attrs:[ ("strategy", Obs.Str "logical"); ("label", Obs.Str label) ]
+  @@ fun () ->
   match Catalog.restore_chain t.cat ~label ~strategy:Strategy.Logical with
   | [] -> raise (Fs.Error (Printf.sprintf "no logical backups of %S" label))
   | chain ->
@@ -299,6 +340,9 @@ let restore_logical t ~label ~fs ~target ?select () =
     | None -> List.map (fun e -> apply_entry t session e) chain)
 
 let restore_physical t ~label ~volume () =
+  Obs.with_span "engine.restore"
+    ~attrs:[ ("strategy", Obs.Str "physical"); ("label", Obs.Str label) ]
+  @@ fun () ->
   match Catalog.restore_chain t.cat ~label ~strategy:Strategy.Physical with
   | [] -> raise (Fs.Error (Printf.sprintf "no physical backups of %S" label))
   | chain ->

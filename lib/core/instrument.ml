@@ -1,22 +1,35 @@
 module Resource = Repro_sim.Resource
 module Pipeline = Repro_sim.Pipeline
+module Obs = Repro_obs.Obs
 
+(* Each observed region is one span on the armed obs plane AND one
+   pipeline stage; the measured region is identical, so Tables 2-5 and a
+   trace of the same run agree by construction. The per-resource demands
+   are annotated onto the span as it closes. *)
 let collect ~resources f =
   let stages = ref [] in
   let observe label work =
-    let before = List.map (fun r -> (r, Resource.busy r, Resource.bytes r)) resources in
-    work ();
-    let demands =
-      List.filter_map
-        (fun (r, busy0, bytes0) ->
-          let dbusy = Resource.busy r -. busy0 in
-          let dbytes = Resource.bytes r - bytes0 in
-          if dbusy > 0.0 || dbytes > 0 then
-            Some (Pipeline.demand ~bytes:dbytes r dbusy)
-          else None)
-        before
-    in
-    stages := Pipeline.stage label demands :: !stages
+    Obs.with_span label (fun () ->
+        let before =
+          List.map (fun r -> (r, Resource.busy r, Resource.bytes r)) resources
+        in
+        work ();
+        let demands =
+          List.filter_map
+            (fun (r, busy0, bytes0) ->
+              let dbusy = Resource.busy r -. busy0 in
+              let dbytes = Resource.bytes r - bytes0 in
+              if dbusy > 0.0 || dbytes > 0 then
+                Some (Pipeline.demand ~bytes:dbytes r dbusy)
+              else None)
+            before
+        in
+        Obs.annotate
+          (List.map
+             (fun (d : Pipeline.demand) ->
+               ("busy:" ^ Resource.name d.Pipeline.resource, Obs.Float d.Pipeline.work))
+             demands);
+        stages := Pipeline.stage label demands :: !stages)
   in
   let result = f observe in
   (result, List.rev !stages)

@@ -27,7 +27,14 @@ val concurrent : Format.formatter -> Experiment.concurrent -> unit
 (** The §5.1 concurrent-volumes claim. *)
 
 val faults :
-  Format.formatter -> plane:Repro_fault.Fault.plane -> engine:Engine.t -> unit
-(** After a fault drill: injected/repair/retry/skip counts from the
-    plane's journal, RAID media repairs, degraded catalog entries,
-    resumable in-flight checkpoints, and the journal itself. *)
+  Format.formatter ->
+  ?obs:Repro_obs.Obs.t ->
+  plane:Repro_fault.Fault.plane ->
+  engine:Engine.t ->
+  unit ->
+  unit
+(** After a fault drill: injected/repair/retry/skip counts, RAID media
+    repairs, degraded catalog entries, resumable in-flight checkpoints,
+    and the journal itself. With [obs] the counts are read from that
+    plane's metrics registry ([fault.*], [raid.media_repairs]);
+    otherwise they are folded from the fault journal. *)

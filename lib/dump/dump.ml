@@ -5,6 +5,7 @@ module Cost = Repro_sim.Cost
 module Fs = Repro_wafl.Fs
 module Inode = Repro_wafl.Inode
 module Tapeio = Repro_tape.Tapeio
+module Obs = Repro_obs.Obs
 
 type result = {
   level : int;
@@ -88,8 +89,8 @@ let canonical_dir_content entries =
   Serde.contents w
 
 let run ?(level = 0) ?dumpdates ?(record = true) ?(exclude = Filter.none) ?cpu
-    ?(costs = Cost.f630) ?(part = (0, 1)) ?(observe = fun _label f -> f ())
-    ~view ~subtree ~label ~date ~sink () =
+    ?(costs = Cost.f630) ?(part = (0, 1)) ?(observe = Obs.observe) ~view
+    ~subtree ~label ~date ~sink () =
   if level < 0 || level > 9 then invalid_arg "Dump.run: level must be 0-9";
   let part_idx, nparts = part in
   if nparts < 1 || part_idx < 0 || part_idx >= nparts then
@@ -270,6 +271,11 @@ let run ?(level = 0) ?dumpdates ?(record = true) ?(exclude = Filter.none) ?cpu
   | Some dd when record && part_idx = nparts - 1 ->
     Dumpdates.record dd ~label ~level ~date
   | Some _ | None -> ());
+  Obs.count "dump.files" !files_dumped;
+  Obs.count "dump.dirs" !dirs_dumped;
+  Obs.count "dump.inodes_mapped" !inodes_mapped;
+  Obs.count "dump.files_skipped" !files_skipped;
+  Obs.count "dump.bytes_written" (Tapeio.sink_bytes_written sink - start_bytes);
   {
     level;
     dump_date = date;

@@ -294,7 +294,7 @@ let rec ensure_parents fs path =
 (* ------------------------------------------------------------------ *)
 (* Apply                                                               *)
 
-let apply ?(observe = fun _label f -> f ()) ?select session src =
+let apply ?(observe = Repro_obs.Obs.observe) ?select session src =
   let skipped = ref 0 in
   (* Reading the front matter (maps and the desiccated directory table) is
      part of the "creating files" stage the paper measures. *)
@@ -663,6 +663,11 @@ let apply ?(observe = fun _label f -> f ()) ?select session src =
     session.prior_usage <- Some front.f_usage;
     session.applied <- session.applied + 1
   end;
+  Repro_obs.Obs.count "restore.files" !files_restored;
+  Repro_obs.Obs.count "restore.dirs_created" !dirs_created;
+  Repro_obs.Obs.count "restore.files_deleted" !files_deleted;
+  Repro_obs.Obs.count "restore.bytes_restored" !bytes_restored;
+  Repro_obs.Obs.count "restore.corrupt_headers_skipped" !skipped;
   {
     files_restored = !files_restored;
     dirs_created = !dirs_created;

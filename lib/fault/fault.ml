@@ -1,4 +1,5 @@
 module Prng = Repro_util.Prng
+module Obs = Repro_obs.Obs
 
 type spec =
   | Latent_sector_error of { device : string; addr : int }
@@ -20,6 +21,8 @@ type event = {
   device : string;
   addr : int;
   detail : string;
+  span : int;
+  injected : bool;
 }
 
 (* Mutable per-device state compiled from the specs. *)
@@ -58,10 +61,6 @@ type plane = {
   by_device : (string, dstate) Hashtbl.t;
   mutable journal : event list; (* newest first *)
   mutable seq : int;
-  mutable injected : int;
-  mutable repairs : int;
-  mutable retries : int;
-  mutable skips : int;
 }
 
 let state p device =
@@ -80,10 +79,6 @@ let plan ?(seed = 0) specs =
       by_device = Hashtbl.create 8;
       journal = [];
       seq = 0;
-      injected = 0;
-      repairs = 0;
-      retries = 0;
-      skips = 0;
     }
   in
   List.iter
@@ -132,20 +127,45 @@ let with_armed p f =
 (* ------------------------------------------------------------------ *)
 (* Journal                                                             *)
 
-let record p ~kind ~device ~addr ~detail =
-  let ev = { seq = p.seq; kind; device; addr; detail } in
+(* Every journalled event also lands on the armed obs plane (if any) as
+   an instant inside the current span — the fault ↔ trace correlation:
+   the instant carries the journal seq, and retry attempt spans carry it
+   back ({!note_retry} returns it). *)
+let record_ev p ~kind ~device ~addr ~detail ~injected =
+  let span = Obs.current_span () in
+  let ev = { seq = p.seq; kind; device; addr; detail; span; injected } in
   p.seq <- p.seq + 1;
-  p.journal <- ev :: p.journal
+  p.journal <- ev :: p.journal;
+  Obs.instant ("fault." ^ kind)
+    ~attrs:
+      [
+        ("journal_seq", Obs.Int ev.seq);
+        ("device", Obs.Str device);
+        ("addr", Obs.Int addr);
+        ("detail", Obs.Str detail);
+        ("injected", Obs.Bool injected);
+      ];
+  ev.seq
+
+let record p ~kind ~device ~addr ~detail =
+  ignore (record_ev p ~kind ~device ~addr ~detail ~injected:false)
 
 let inject p ~kind ~device ~addr ~detail =
-  p.injected <- p.injected + 1;
-  record p ~kind ~device ~addr ~detail
+  Obs.count "fault.injected" 1;
+  ignore (record_ev p ~kind ~device ~addr ~detail ~injected:true)
 
 let events p = List.rev p.journal
-let injected p = p.injected
-let repairs p = p.repairs
-let retries p = p.retries
-let skips p = p.skips
+
+(* The counters the report prints are folds over the journal — the
+   journal is the single source of truth; the obs metrics registry
+   mirrors it when a plane is armed. *)
+let fold_count pred p =
+  List.fold_left (fun n ev -> if pred ev then n + 1 else n) 0 p.journal
+
+let injected p = fold_count (fun ev -> ev.injected) p
+let repairs p = fold_count (fun ev -> ev.kind = "repair") p
+let retries p = fold_count (fun ev -> ev.kind = "retry") p
+let skips p = fold_count (fun ev -> ev.kind = "skip") p
 
 let line (ev : event) =
   Printf.sprintf "%04d %-12s %-20s %6d %s" ev.seq ev.kind ev.device ev.addr
@@ -311,20 +331,21 @@ let note_repair ~device ~addr =
   match !current with
   | None -> ()
   | Some p ->
-    p.repairs <- p.repairs + 1;
+    Obs.count "fault.repairs" 1;
     record p ~kind:"repair" ~device ~addr ~detail:"reconstructed from parity"
 
 let note_retry ~device ~what ~attempt ~delay_s =
   match !current with
-  | None -> ()
+  | None -> -1
   | Some p ->
-    p.retries <- p.retries + 1;
-    record p ~kind:"retry" ~device ~addr:attempt
+    Obs.count "fault.retries" 1;
+    record_ev p ~kind:"retry" ~device ~addr:attempt
       ~detail:(Printf.sprintf "%s, backoff %.3fs" what delay_s)
+      ~injected:false
 
 let note_skip ~device ~addr ~what =
   match !current with
   | None -> ()
   | Some p ->
-    p.skips <- p.skips + 1;
+    Obs.count "fault.skips" 1;
     record p ~kind:"skip" ~device ~addr ~detail:what

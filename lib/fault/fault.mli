@@ -124,7 +124,12 @@ val dead : plane -> device:string -> bool
 val note_repair : device:string -> addr:int -> unit
 (** RAID repaired a media error at [addr] by reconstruction + rewrite. *)
 
-val note_retry : device:string -> what:string -> attempt:int -> delay_s:float -> unit
+val note_retry :
+  device:string -> what:string -> attempt:int -> delay_s:float -> int
+(** Returns the journal seq of the retry event (-1 when disarmed), so
+    the retrying layer can stamp it onto its attempt span — the
+    trace-side half of the fault/trace correlation. *)
+
 val note_skip : device:string -> addr:int -> what:string -> unit
 (** A degradation: e.g. logical dump skipped unreadable inode [addr]. *)
 
@@ -139,6 +144,10 @@ type event = {
   device : string;
   addr : int;  (** block/record index, attempt number, or -1 *)
   detail : string;
+  span : int;
+      (** id of the {!Repro_obs.Obs} span open when the event was
+          journalled (0 when no obs plane was recording) *)
+  injected : bool;  (** an injected fault, vs. a response note *)
 }
 
 val events : plane -> event list

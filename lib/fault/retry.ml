@@ -1,3 +1,5 @@
+module Obs = Repro_obs.Obs
+
 type policy = { attempts : int; base_s : float; multiplier : float }
 
 let default = { attempts = 4; base_s = 1.0; multiplier = 2.0 }
@@ -10,12 +12,27 @@ let run ?(policy = default) ?(charge = fun _ -> ()) ?(cleanup = fun _ -> ())
     ~label f =
   if policy.attempts < 1 then invalid_arg "Retry.run: attempts < 1";
   let rec go attempt =
-    try f ()
-    with Fault.Transient { device; _ } as e when attempt < policy.attempts ->
+    let sp =
+      Obs.span_begin "attempt"
+        ~attrs:[ ("what", Obs.Str label); ("attempt", Obs.Int attempt) ]
+    in
+    match f () with
+    | v ->
+      Obs.span_end sp;
+      v
+    | exception (Fault.Transient { device; _ } as e)
+      when attempt < policy.attempts ->
       cleanup e;
       let delay = backoff policy ~attempt in
-      Fault.note_retry ~device ~what:label ~attempt ~delay_s:delay;
+      let seq = Fault.note_retry ~device ~what:label ~attempt ~delay_s:delay in
+      Obs.span_end sp
+        ~attrs:
+          [ ("transient", Obs.Bool true); ("retry_journal_seq", Obs.Int seq) ];
+      Obs.io ~op:"retry.backoff" ~device ~bytes:0 delay;
       charge delay;
       go (attempt + 1)
+    | exception e ->
+      Obs.span_end sp ~attrs:[ ("error", Obs.Str (Printexc.to_string e)) ];
+      raise e
   in
   go 1

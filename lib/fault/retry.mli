@@ -5,7 +5,9 @@
     [charge]) and a re-run, up to [attempts] total tries. Anything other
     than [Transient] — media errors, dead drives — propagates immediately;
     retrying cannot help those. Every retry is journalled to the armed
-    fault plane. *)
+    fault plane, and each attempt runs inside an [attempt] span on the
+    armed obs plane ({!Repro_obs.Obs}) carrying the retry's journal seq
+    — the trace shows exactly which attempt absorbed which fault. *)
 
 type policy = {
   attempts : int;  (** total tries, including the first (>= 1) *)

@@ -73,8 +73,8 @@ let synthesize_fsinfo fs (target : Fsinfo.snap_entry) included =
       snaps = included;
     }
 
-let run ?cpu ?(costs = Cost.f630) ?(part = (0, 1)) ?(observe = fun _label f -> f ())
-    ~fs ~kind ~base ~snapshot ~sink () =
+let run ?cpu ?(costs = Cost.f630) ?(part = (0, 1))
+    ?(observe = Repro_obs.Obs.observe) ~fs ~kind ~base ~snapshot ~sink () =
   let part_idx, nparts = part in
   if nparts < 1 || part_idx < 0 || part_idx >= nparts then
     invalid_arg "Image_dump.run: bad part";
@@ -158,6 +158,9 @@ let run ?cpu ?(costs = Cost.f630) ?(part = (0, 1)) ?(observe = fun _label f -> f
         (Format.encode_trailer
            ~fsinfo:(Bytes.to_string (synthesize_fsinfo fs target included))));
   Tapeio.close_sink sink;
+  Repro_obs.Obs.count "image_dump.blocks" !blocks;
+  Repro_obs.Obs.count "image_dump.bytes_written"
+    (Tapeio.sink_bytes_written sink - start_bytes);
   {
     kind;
     blocks_dumped = !blocks;
@@ -166,7 +169,8 @@ let run ?cpu ?(costs = Cost.f630) ?(part = (0, 1)) ?(observe = fun _label f -> f
     snapshots_dropped = List.map (fun (s : Fsinfo.snap_entry) -> s.snap_name) dropped;
   }
 
-let raw ?cpu ?(costs = Cost.f630) ?(observe = fun _label f -> f ()) ~volume ~sink () =
+let raw ?cpu ?(costs = Cost.f630) ?(observe = Repro_obs.Obs.observe) ~volume
+    ~sink () =
   let nblocks = Volume.size_blocks volume in
   let date = 0.0 in
   let start_bytes = Tapeio.sink_bytes_written sink in

@@ -26,7 +26,8 @@ let split_blocks vbn data =
   List.init n (fun i ->
       (vbn + i, Bytes.of_string (String.sub data (i * block_size) block_size)))
 
-let apply ?cpu ?(costs = Cost.f630) ?(observe = fun _label f -> f ()) ~volume src =
+let apply ?cpu ?(costs = Cost.f630) ?(observe = Repro_obs.Obs.observe) ~volume
+    src =
   let input n = try Tapeio.input src n with End_of_file -> err "image stream truncated" in
   let header =
     try Format.read_header input with Serde.Corrupt m -> err "bad image header: %s" m
@@ -91,6 +92,8 @@ let apply ?cpu ?(costs = Cost.f630) ?(observe = fun _label f -> f ()) ~volume sr
       done);
   if !blocks <> header.Format.block_count then
     err "stream advertised %d blocks but carried %d" header.Format.block_count !blocks;
+  Repro_obs.Obs.count "image_restore.blocks" !blocks;
+  Repro_obs.Obs.count "image_restore.bytes_read" !bytes;
   {
     kind = header.Format.kind;
     snap_name = header.Format.snap_name;

@@ -1,0 +1,413 @@
+module Clock = Repro_sim.Clock
+
+type value = Int of int | Float of float | Str of string | Bool of bool
+type attr = string * value
+type phase = B | E | I | X
+
+type event = {
+  ph : phase;
+  ev_name : string;
+  span : int;
+  parent : int;
+  ts : int;
+  dur : int;
+  attrs : attr list;
+}
+
+type metric =
+  | Counter of { mutable total : int }
+  | Gauge of { mutable g : float }
+  | Histogram of {
+      buckets : int array;
+      mutable n : int;
+      mutable sum : int;
+      mutable vmax : int;
+    }
+
+type open_span = { os_id : int; os_name : string; mutable os_attrs : attr list }
+
+type t = {
+  clock : Clock.t option;
+  mutable on : bool;
+  mutable io_us : float;
+  mutable next_id : int;
+  mutable evs : event list; (* newest first *)
+  mutable nevs : int;
+  mutable stack : open_span list; (* innermost first *)
+  mutable unbalanced_ends : int;
+  metrics : (string, metric) Hashtbl.t;
+}
+
+let create ?clock ?(enabled = true) () =
+  {
+    clock;
+    on = enabled;
+    io_us = 0.0;
+    next_id = 0;
+    evs = [];
+    nevs = 0;
+    stack = [];
+    unbalanced_ends = 0;
+    metrics = Hashtbl.create 64;
+  }
+
+let enable t b = t.on <- b
+
+(* ------------------------------------------------------------------ *)
+(* Arming                                                              *)
+
+let current : t option ref = ref None
+let arm t = current := Some t
+let disarm () = current := None
+let armed () = !current
+
+let with_armed t f =
+  let prev = !current in
+  current := Some t;
+  Fun.protect ~finally:(fun () -> current := prev) f
+
+(* The hot-path check: every instrumentation point below starts with
+   [active ()]; the disarmed (or armed-but-disabled) cost is this load
+   and branch, nothing more. *)
+let active () =
+  match !current with
+  | Some t when t.on -> Some t
+  | Some _ | None -> None
+
+let enabled () = match active () with Some _ -> true | None -> false
+
+(* ------------------------------------------------------------------ *)
+(* Virtual time                                                        *)
+
+let now_us t =
+  let base = match t.clock with Some c -> Clock.now c *. 1e6 | None -> 0.0 in
+  Float.to_int (base +. t.io_us)
+
+let push t ev =
+  t.evs <- ev :: t.evs;
+  t.nevs <- t.nevs + 1
+
+(* ------------------------------------------------------------------ *)
+(* Spans                                                               *)
+
+let begin_span t ~attrs name =
+  t.next_id <- t.next_id + 1;
+  let id = t.next_id in
+  let parent = match t.stack with s :: _ -> s.os_id | [] -> 0 in
+  t.stack <- { os_id = id; os_name = name; os_attrs = [] } :: t.stack;
+  push t { ph = B; ev_name = name; span = id; parent; ts = now_us t; dur = 0; attrs };
+  id
+
+let end_one t s extra =
+  push t
+    {
+      ph = E;
+      ev_name = s.os_name;
+      span = s.os_id;
+      parent = 0;
+      ts = now_us t;
+      dur = 0;
+      attrs = List.rev_append (List.rev s.os_attrs) extra;
+    }
+
+let end_span t ~attrs id =
+  if List.exists (fun s -> s.os_id = id) t.stack then begin
+    (* Close abandoned inner spans first so B/E events stay balanced. *)
+    let rec unwind = function
+      | s :: rest when s.os_id <> id ->
+        end_one t s [ ("abandoned", Bool true) ];
+        unwind rest
+      | s :: rest ->
+        end_one t s attrs;
+        rest
+      | [] -> []
+    in
+    t.stack <- unwind t.stack
+  end
+  else t.unbalanced_ends <- t.unbalanced_ends + 1
+
+let span_begin ?(attrs = []) name =
+  match active () with None -> 0 | Some t -> begin_span t ~attrs name
+
+let span_end ?(attrs = []) id =
+  if id <> 0 then
+    match active () with None -> () | Some t -> end_span t ~attrs id
+
+let with_span ?(attrs = []) name f =
+  match active () with
+  | None -> f ()
+  | Some t -> (
+    let id = begin_span t ~attrs name in
+    match f () with
+    | v ->
+      span_end id;
+      v
+    | exception e ->
+      span_end ~attrs:[ ("error", Str (Printexc.to_string e)) ] id;
+      raise e)
+
+let observe name f = with_span name f
+
+let annotate attrs =
+  match active () with
+  | None -> ()
+  | Some t -> (
+    match t.stack with
+    | s :: _ -> s.os_attrs <- s.os_attrs @ attrs
+    | [] -> ())
+
+let current_span () =
+  match active () with
+  | None -> 0
+  | Some t -> ( match t.stack with s :: _ -> s.os_id | [] -> 0)
+
+let instant ?(attrs = []) name =
+  match active () with
+  | None -> ()
+  | Some t ->
+    let span = match t.stack with s :: _ -> s.os_id | [] -> 0 in
+    push t { ph = I; ev_name = name; span; parent = 0; ts = now_us t; dur = 0; attrs }
+
+(* ------------------------------------------------------------------ *)
+(* Metrics                                                             *)
+
+let bucket_of v =
+  if v <= 0 then 0
+  else begin
+    let b = ref 0 and n = ref v in
+    while !n > 0 do
+      incr b;
+      n := !n lsr 1
+    done;
+    !b
+  end
+
+let bucket_lo k = if k <= 0 then 0 else 1 lsl (k - 1)
+
+let counter_on t name n =
+  match Hashtbl.find_opt t.metrics name with
+  | Some (Counter c) -> c.total <- c.total + n
+  | Some _ -> ()
+  | None -> Hashtbl.add t.metrics name (Counter { total = n })
+
+let hist_on t name v =
+  let m =
+    match Hashtbl.find_opt t.metrics name with
+    | Some m -> m
+    | None ->
+      let m = Histogram { buckets = Array.make 64 0; n = 0; sum = 0; vmax = min_int } in
+      Hashtbl.add t.metrics name m;
+      m
+  in
+  match m with
+  | Histogram h ->
+    let b = bucket_of v in
+    h.buckets.(b) <- h.buckets.(b) + 1;
+    h.n <- h.n + 1;
+    h.sum <- h.sum + v;
+    if v > h.vmax then h.vmax <- v
+  | Counter _ | Gauge _ -> ()
+
+let count name n =
+  match active () with None -> () | Some t -> counter_on t name n
+
+let set_gauge name v =
+  match active () with
+  | None -> ()
+  | Some t -> (
+    match Hashtbl.find_opt t.metrics name with
+    | Some (Gauge g) -> g.g <- v
+    | Some _ -> ()
+    | None -> Hashtbl.add t.metrics name (Gauge { g = v }))
+
+let hist name v =
+  match active () with None -> () | Some t -> hist_on t name v
+
+let advance secs =
+  match active () with
+  | None -> ()
+  | Some t -> t.io_us <- t.io_us +. (secs *. 1e6)
+
+let io ~op ~device ?(addr = -1) ~bytes dur_s =
+  match active () with
+  | None -> ()
+  | Some t ->
+    let span = match t.stack with s :: _ -> s.os_id | [] -> 0 in
+    let dur = Float.to_int (dur_s *. 1e6) in
+    let attrs =
+      let base = [ ("device", Str device); ("bytes", Int bytes) ] in
+      if addr >= 0 then ("addr", Int addr) :: base else base
+    in
+    push t { ph = X; ev_name = op; span; parent = 0; ts = now_us t; dur; attrs };
+    t.io_us <- t.io_us +. (dur_s *. 1e6);
+    counter_on t (op ^ ".ops") 1;
+    counter_on t (op ^ ".bytes") bytes;
+    hist_on t (op ^ ".latency_us") dur
+
+(* ------------------------------------------------------------------ *)
+(* Inspection                                                          *)
+
+let events t = List.rev t.evs
+let open_spans t = List.length t.stack
+let unbalanced t = t.unbalanced_ends
+
+let counter_value t name =
+  match Hashtbl.find_opt t.metrics name with Some (Counter c) -> c.total | _ -> 0
+
+let gauge_value t name =
+  match Hashtbl.find_opt t.metrics name with Some (Gauge g) -> Some g.g | _ -> None
+
+let hist_stats t name =
+  match Hashtbl.find_opt t.metrics name with
+  | Some (Histogram h) -> Some (h.n, h.sum, if h.n = 0 then 0 else h.vmax)
+  | _ -> None
+
+let hist_buckets t name =
+  match Hashtbl.find_opt t.metrics name with
+  | Some (Histogram h) ->
+    let acc = ref [] in
+    for k = Array.length h.buckets - 1 downto 0 do
+      if h.buckets.(k) > 0 then acc := (k, h.buckets.(k)) :: !acc
+    done;
+    !acc
+  | _ -> []
+
+(* ------------------------------------------------------------------ *)
+(* Export                                                              *)
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | '\r' -> Buffer.add_string b "\\r"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let value_json = function
+  | Int i -> string_of_int i
+  | Float f -> Printf.sprintf "%.6g" f
+  | Str s -> "\"" ^ json_escape s ^ "\""
+  | Bool b -> if b then "true" else "false"
+
+let args_json b extra attrs =
+  Buffer.add_string b "{";
+  let first = ref true in
+  let field (k, v) =
+    if not !first then Buffer.add_string b ",";
+    first := false;
+    Buffer.add_string b "\"";
+    Buffer.add_string b (json_escape k);
+    Buffer.add_string b "\":";
+    Buffer.add_string b (value_json v)
+  in
+  List.iter field extra;
+  List.iter field attrs;
+  Buffer.add_string b "}"
+
+let chrome_trace t =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b "{\"traceEvents\":[\n";
+  let first = ref true in
+  List.iter
+    (fun ev ->
+      if not !first then Buffer.add_string b ",\n";
+      first := false;
+      let ph, extra =
+        match ev.ph with
+        | B -> ("B", [ ("span", Int ev.span); ("parent", Int ev.parent) ])
+        | E -> ("E", [ ("span", Int ev.span) ])
+        | I -> ("i", [ ("span", Int ev.span) ])
+        | X -> ("X", [ ("span", Int ev.span) ])
+      in
+      Buffer.add_string b
+        (Printf.sprintf "{\"name\":\"%s\",\"ph\":\"%s\",\"pid\":1,\"tid\":1,\"ts\":%d"
+           (json_escape ev.ev_name) ph ev.ts);
+      if ev.ph = X then Buffer.add_string b (Printf.sprintf ",\"dur\":%d" ev.dur);
+      if ev.ph = I then Buffer.add_string b ",\"s\":\"t\"";
+      Buffer.add_string b ",\"args\":";
+      args_json b extra ev.attrs;
+      Buffer.add_string b "}")
+    (events t);
+  Buffer.add_string b "\n],\"displayTimeUnit\":\"ms\",\"otherData\":{\"generator\":\"backup_repro obs\"}}\n";
+  Buffer.contents b
+
+let sorted_metrics t =
+  List.sort
+    (fun (a, _) (b, _) -> compare a b)
+    (Hashtbl.fold (fun name m acc -> (name, m) :: acc) t.metrics [])
+
+let metrics_jsonl t =
+  let b = Buffer.create 1024 in
+  List.iter
+    (fun (name, m) ->
+      (match m with
+      | Counter c ->
+        Buffer.add_string b
+          (Printf.sprintf "{\"name\":\"%s\",\"type\":\"counter\",\"value\":%d}"
+             (json_escape name) c.total)
+      | Gauge g ->
+        Buffer.add_string b
+          (Printf.sprintf "{\"name\":\"%s\",\"type\":\"gauge\",\"value\":%s}"
+             (json_escape name)
+             (value_json (Float g.g)))
+      | Histogram h ->
+        Buffer.add_string b
+          (Printf.sprintf
+             "{\"name\":\"%s\",\"type\":\"histogram\",\"count\":%d,\"sum\":%d,\"max\":%d,\"buckets\":["
+             (json_escape name) h.n h.sum
+             (if h.n = 0 then 0 else h.vmax));
+        let first = ref true in
+        Array.iteri
+          (fun k c ->
+            if c > 0 then begin
+              if not !first then Buffer.add_string b ",";
+              first := false;
+              Buffer.add_string b (Printf.sprintf "[%d,%d]" k c)
+            end)
+          h.buckets;
+        Buffer.add_string b "]}");
+      Buffer.add_string b "\n")
+    (sorted_metrics t);
+  Buffer.contents b
+
+let pp_summary ppf t =
+  let spans = List.length (List.filter (fun e -> e.ph = B) (events t)) in
+  Format.fprintf ppf "obs plane: %d events (%d spans), %d open, %d unbalanced ends@."
+    t.nevs spans (open_spans t) (unbalanced t);
+  let counters, gauges, hists =
+    List.fold_left
+      (fun (cs, gs, hs) (name, m) ->
+        match m with
+        | Counter c -> ((name, c.total) :: cs, gs, hs)
+        | Gauge g -> (cs, (name, g.g) :: gs, hs)
+        | Histogram h ->
+          (cs, gs, (name, (h.n, h.sum, if h.n = 0 then 0 else h.vmax)) :: hs))
+      ([], [], []) (sorted_metrics t)
+  in
+  if counters <> [] then begin
+    Format.fprintf ppf "counters:@.";
+    List.iter
+      (fun (name, v) -> Format.fprintf ppf "  %-32s %12d@." name v)
+      (List.rev counters)
+  end;
+  if gauges <> [] then begin
+    Format.fprintf ppf "gauges:@.";
+    List.iter
+      (fun (name, v) -> Format.fprintf ppf "  %-32s %12.2f@." name v)
+      (List.rev gauges)
+  end;
+  if hists <> [] then begin
+    Format.fprintf ppf "histograms: %-20s %8s %14s %12s@." "" "count" "sum" "max";
+    List.iter
+      (fun (name, (n, sum, vmax)) ->
+        Format.fprintf ppf "  %-30s %8d %14d %12d@." name n sum vmax)
+      (List.rev hists)
+  end

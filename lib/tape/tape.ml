@@ -115,11 +115,14 @@ let compressed_size t n =
 
 (* Streaming time is governed by the native media rate over compressed
    bytes; payload accounting stays uncompressed. *)
-let charge t ~payload ~on_media =
+let charge t ~op ~payload ~on_media =
   let secs = Float.of_int on_media /. (t.p.native_mb_s *. 1_000_000.0) in
   t.busy <- t.busy +. secs;
   t.bytes <- t.bytes + payload;
-  Repro_sim.Resource.charge t.resource ~bytes:payload secs
+  Repro_sim.Resource.charge t.resource ~bytes:payload secs;
+  (* guard keeps the disabled plane to one load-and-branch per record *)
+  if Repro_obs.Obs.enabled () then
+    Repro_obs.Obs.io ~op ~device:t.label ~addr:t.pos ~bytes:payload secs
 
 let item_size t = function
   | Rec b -> compressed_size t (Bytes.length b)
@@ -154,7 +157,7 @@ let write_record t s =
   let on_media = compressed_size t (String.length s) in
   if m.stored_bytes + on_media > t.p.capacity_bytes then raise End_of_tape;
   Repro_fault.Fault.on_tape_write ~device:t.label ~record:t.pos;
-  charge t ~payload:(String.length s) ~on_media;
+  charge t ~op:"tape.write" ~payload:(String.length s) ~on_media;
   append t m (Rec (Bytes.of_string s))
 
 let write_filemark t =
@@ -182,14 +185,17 @@ let read_record t =
     match item with
     | Mark -> Filemark
     | Rec b ->
-      charge t ~payload:(Bytes.length b) ~on_media:(compressed_size t (Bytes.length b));
+      charge t ~op:"tape.read" ~payload:(Bytes.length b)
+        ~on_media:(compressed_size t (Bytes.length b));
       Record (Bytes.to_string b)
   end
 
 let charge_delay t secs =
   if secs < 0.0 then invalid_arg "Tape.charge_delay";
   t.busy <- t.busy +. secs;
-  Repro_sim.Resource.charge t.resource ~bytes:0 secs
+  Repro_sim.Resource.charge t.resource ~bytes:0 secs;
+  if Repro_obs.Obs.enabled () then
+    Repro_obs.Obs.io ~op:"tape.delay" ~device:t.label ~bytes:0 secs
 
 let seek_end t =
   let m = require_media t in

@@ -38,7 +38,8 @@ let close_sink t =
     put_record t (Buffer.contents t.buf);
     Buffer.clear t.buf
   end;
-  Tape.write_filemark (Library.drive t.lib)
+  Tape.write_filemark (Library.drive t.lib);
+  Repro_obs.Obs.hist "tape.stream_bytes" t.written
 
 let sink_bytes_written t = t.written
 
@@ -76,8 +77,9 @@ let read_record_resilient lib =
   let rec go attempt =
     try Tape.read_record d
     with Repro_fault.Fault.Transient _ when attempt < read_retry_attempts ->
-      Repro_fault.Fault.note_retry ~device:(Tape.label d) ~what:"tape read"
-        ~attempt ~delay_s:soft_retry_delay_s;
+      ignore
+        (Repro_fault.Fault.note_retry ~device:(Tape.label d) ~what:"tape read"
+           ~attempt ~delay_s:soft_retry_delay_s);
       Tape.charge_delay d soft_retry_delay_s;
       go (attempt + 1)
   in

@@ -74,6 +74,8 @@ let append t ~tag op =
   else begin
     t.entries <- (tag, op) :: t.entries;
     t.used <- t.used + sz;
+    Repro_obs.Obs.count "nvram.log.ops" 1;
+    Repro_obs.Obs.count "nvram.log.bytes" sz;
     true
   end
 

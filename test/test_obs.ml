@@ -1,0 +1,290 @@
+(* Tests for the observability plane: log2 histogram bucketing edges,
+   span nesting and unbalanced exits, the Chrome trace of a real backup
+   (nested engine -> part -> stage -> device I/O, balanced B/E pairs),
+   fault-journal correlation through retry attempt spans, and the qcheck
+   property that identical workload+fault seeds export byte-identical
+   traces and metrics. *)
+
+module Obs = Repro_obs.Obs
+module Fault = Repro_fault.Fault
+module Volume = Repro_block.Volume
+module Library = Repro_tape.Library
+module Fs = Repro_wafl.Fs
+module Strategy = Repro_backup.Strategy
+module Engine = Repro_backup.Engine
+module Clock = Repro_sim.Clock
+module Generator = Repro_workload.Generator
+
+let checki = Alcotest.(check int)
+let checkb = Alcotest.(check bool)
+
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub haystack i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+(* --------------------------- histograms ------------------------------ *)
+
+let test_bucket_edges () =
+  checki "0 -> bucket 0" 0 (Obs.bucket_of 0);
+  checki "negative -> bucket 0" 0 (Obs.bucket_of (-5));
+  checki "min_int -> bucket 0" 0 (Obs.bucket_of min_int);
+  checki "1 -> bucket 1" 1 (Obs.bucket_of 1);
+  checki "2 -> bucket 2" 2 (Obs.bucket_of 2);
+  checki "3 -> bucket 2" 2 (Obs.bucket_of 3);
+  checki "4 -> bucket 3" 3 (Obs.bucket_of 4);
+  checki "7 -> bucket 3" 3 (Obs.bucket_of 7);
+  checki "8 -> bucket 4" 4 (Obs.bucket_of 8);
+  checki "max_int -> bucket 62" 62 (Obs.bucket_of max_int);
+  (* every bucket's lower bound files into that bucket, and one less than
+     the next bound still does *)
+  for k = 1 to 62 do
+    checki "bucket_lo round-trips" k (Obs.bucket_of (Obs.bucket_lo k));
+    if k < 62 then
+      checki "bucket upper edge" k (Obs.bucket_of (Obs.bucket_lo (k + 1) - 1))
+  done;
+  checki "bucket_lo 0" 0 (Obs.bucket_lo 0);
+  checki "bucket_lo 1" 1 (Obs.bucket_lo 1);
+  checki "bucket_lo 5" 16 (Obs.bucket_lo 5)
+
+let test_hist_recording () =
+  let p = Obs.create () in
+  Obs.with_armed p (fun () ->
+      List.iter (Obs.hist "h") [ 0; 1; 1; 3; 1024; max_int; -9 ]);
+  (match Obs.hist_stats p "h" with
+  | None -> Alcotest.fail "histogram missing"
+  | Some (n, sum, vmax) ->
+    checki "count" 7 n;
+    checki "sum" (0 + 1 + 1 + 3 + 1024 + max_int + -9) sum;
+    checki "max" max_int vmax);
+  Alcotest.(check (list (pair int int)))
+    "nonzero buckets ascending"
+    [ (0, 2); (1, 2); (2, 1); (11, 1); (62, 1) ]
+    (Obs.hist_buckets p "h");
+  checkb "absent histogram" true (Obs.hist_stats p "none" = None)
+
+(* ----------------------------- spans --------------------------------- *)
+
+let test_span_nesting () =
+  let p = Obs.create () in
+  Obs.with_armed p (fun () ->
+      Obs.with_span "outer" (fun () ->
+          Obs.with_span "inner" (fun () ->
+              checkb "current is inner" true (Obs.current_span () > 0));
+          Obs.instant "tick"));
+  checki "no open spans" 0 (Obs.open_spans p);
+  checki "no unbalanced ends" 0 (Obs.unbalanced p);
+  let evs = Obs.events p in
+  let b = List.filter (fun e -> e.Obs.ph = Obs.B) evs in
+  let e = List.filter (fun e -> e.Obs.ph = Obs.E) evs in
+  checki "two begins" 2 (List.length b);
+  checki "two ends" 2 (List.length e);
+  let outer = List.find (fun ev -> ev.Obs.ev_name = "outer") b in
+  let inner = List.find (fun ev -> ev.Obs.ev_name = "inner") b in
+  checki "outer is a root span" 0 outer.Obs.parent;
+  checki "inner's parent is outer" outer.Obs.span inner.Obs.parent;
+  let tick = List.find (fun ev -> ev.Obs.ph = Obs.I) evs in
+  checki "instant tagged with enclosing span" outer.Obs.span tick.Obs.span
+
+let test_unbalanced_exit () =
+  let p = Obs.create () in
+  Obs.with_armed p (fun () ->
+      let outer = Obs.span_begin "outer" in
+      let _inner = Obs.span_begin "inner" in
+      (* closing the outer span closes the abandoned inner one too *)
+      Obs.span_end outer;
+      checki "stack fully unwound" 0 (Obs.open_spans p);
+      (* ending a span that is not open is counted, not fatal *)
+      Obs.span_end outer;
+      Obs.span_end 999);
+  checki "two unbalanced ends" 2 (Obs.unbalanced p);
+  let abandoned =
+    List.filter
+      (fun ev ->
+        ev.Obs.ph = Obs.E && List.mem_assoc "abandoned" ev.Obs.attrs)
+      (Obs.events p)
+  in
+  checki "inner marked abandoned" 1 (List.length abandoned);
+  (* span id 0 (the disabled no-op id) is always ignored *)
+  Obs.with_armed p (fun () -> Obs.span_end 0);
+  checki "id 0 not counted" 2 (Obs.unbalanced p)
+
+let test_disabled_plane_records_nothing () =
+  let p = Obs.create ~enabled:false () in
+  Obs.with_armed p (fun () ->
+      checkb "not enabled" false (Obs.enabled ());
+      checki "span id 0 when disabled" 0 (Obs.span_begin "x");
+      Obs.count "c" 3;
+      Obs.hist "h" 5;
+      Obs.io ~op:"tape.write" ~device:"T" ~bytes:10 0.1);
+  checki "no events" 0 (List.length (Obs.events p));
+  checki "no counter" 0 (Obs.counter_value p "c");
+  checkb "no histogram" true (Obs.hist_stats p "h" = None)
+
+(* ------------------------ a real backup trace ------------------------ *)
+
+let make_engine ?clock ?(seed = 1) () =
+  let vol = Volume.create ~label:"src" (Volume.small_geometry ~data_blocks:16384) in
+  let fs = Fs.mkfs vol in
+  let profile = { Generator.default with seed } in
+  ignore (Generator.populate ~profile ~fs ~root:"/data" ~total_bytes:400_000 ());
+  let libs = [ Library.create ~slots:16 ~label:"L0" () ] in
+  (Engine.create ?clock ~fs ~libraries:libs (), fs)
+
+(* Walk the event list with a stack, checking B/E pairing and returning
+   the set of (child name, parent name) nesting edges seen. *)
+let nesting_edges evs =
+  let edges = ref [] in
+  let stack = ref [] in
+  List.iter
+    (fun ev ->
+      match ev.Obs.ph with
+      | Obs.B ->
+        (match !stack with
+        | (pname, pid) :: _ ->
+          checki "parent id matches the enclosing span" pid ev.Obs.parent;
+          edges := (ev.Obs.ev_name, pname) :: !edges
+        | [] -> edges := (ev.Obs.ev_name, "") :: !edges);
+        stack := (ev.Obs.ev_name, ev.Obs.span) :: !stack
+      | Obs.E -> (
+        match !stack with
+        | (_, id) :: rest ->
+          checki "E closes the innermost open span" id ev.Obs.span;
+          stack := rest
+        | [] -> Alcotest.fail "E event with no span open")
+      | Obs.I | Obs.X -> ())
+    evs;
+  checki "trace ends with all spans closed" 0 (List.length !stack);
+  !edges
+
+let test_backup_trace_structure () =
+  let clock = Clock.create () in
+  let eng, _ = make_engine ~clock () in
+  let p = Obs.create ~clock () in
+  Obs.with_armed p (fun () ->
+      ignore (Engine.backup eng ~strategy:Strategy.Logical ~subtree:"/data" ~parts:2 ()));
+  let evs = Obs.events p in
+  let edges = nesting_edges evs in
+  checkb "part nests under engine.backup" true
+    (List.mem ("part", "engine.backup") edges);
+  checkb "each part runs as a retryable attempt" true
+    (List.mem ("attempt", "part") edges);
+  checkb "dump stages nest under the attempt" true
+    (List.mem ("dumping files", "attempt") edges);
+  (* device I/O shows up as X events inside the trace *)
+  checkb "tape writes recorded" true
+    (List.exists (fun e -> e.Obs.ph = Obs.X && e.Obs.ev_name = "tape.write") evs);
+  checkb "disk reads recorded" true
+    (List.exists (fun e -> e.Obs.ph = Obs.X && e.Obs.ev_name = "disk.read") evs);
+  (* and the derived metrics exist *)
+  checkb "tape.write.ops counted" true (Obs.counter_value p "tape.write.ops" > 0);
+  checkb "dump.files counted" true (Obs.counter_value p "dump.files" > 0);
+  (match Obs.hist_stats p "tape.write.latency_us" with
+  | Some (n, _, _) -> checkb "latency histogram populated" true (n > 0)
+  | None -> Alcotest.fail "tape.write.latency_us missing");
+  (* the exported JSON is a plausible Chrome trace *)
+  let json = Obs.chrome_trace p in
+  checkb "traceEvents array" true (contains json "\"traceEvents\":[");
+  checkb "B events" true (contains json "\"ph\":\"B\"");
+  checkb "X events" true (contains json "\"ph\":\"X\"");
+  checkb "engine.backup named" true (contains json "\"name\":\"engine.backup\"")
+
+let test_fault_correlation () =
+  let clock = Clock.create () in
+  let eng, _ = make_engine ~clock () in
+  let obs = Obs.create ~clock () in
+  let plane =
+    Fault.plan [ Fault.Tape_soft_errors { device = "L0"; op = `Write; failures = 1 } ]
+  in
+  Obs.with_armed obs (fun () ->
+      Fault.with_armed plane (fun () ->
+          ignore (Engine.backup eng ~strategy:Strategy.Logical ~subtree:"/data" ())));
+  checki "one retry journalled" 1 (Fault.retries plane);
+  let retry_ev =
+    List.find (fun (e : Fault.event) -> e.Fault.kind = "retry") (Fault.events plane)
+  in
+  checkb "journal event carries its span" true (retry_ev.Fault.span > 0);
+  (* the attempt span that retried closed with the journal seq attached *)
+  let attempt_end =
+    List.find_opt
+      (fun ev ->
+        ev.Obs.ph = Obs.E
+        && ev.Obs.ev_name = "attempt"
+        && List.mem_assoc "retry_journal_seq" ev.Obs.attrs)
+      (Obs.events obs)
+  in
+  (match attempt_end with
+  | None -> Alcotest.fail "no attempt span carries retry_journal_seq"
+  | Some ev ->
+    checki "attempt span is the journal event's span" retry_ev.Fault.span ev.Obs.span;
+    (match List.assoc "retry_journal_seq" ev.Obs.attrs with
+    | Obs.Int seq -> checki "seq matches the journal" retry_ev.Fault.seq seq
+    | _ -> Alcotest.fail "retry_journal_seq is not an Int"));
+  (* the injection itself is an instant tagged with the journal seq *)
+  let inst =
+    List.find_opt
+      (fun ev -> ev.Obs.ph = Obs.I && ev.Obs.ev_name = "fault.tape-soft")
+      (Obs.events obs)
+  in
+  (match inst with
+  | None -> Alcotest.fail "no fault.tape-soft instant"
+  | Some ev -> (
+    match List.assoc_opt "journal_seq" ev.Obs.attrs with
+    | Some (Obs.Int _) -> ()
+    | _ -> Alcotest.fail "instant lacks journal_seq"));
+  checkb "fault.injected counted" true (Obs.counter_value obs "fault.injected" >= 1);
+  checkb "fault.retries counted" true (Obs.counter_value obs "fault.retries" >= 1)
+
+(* --------------------------- determinism ----------------------------- *)
+
+(* Identical workload and fault seeds must export byte-identical traces
+   and metrics: everything recorded is a pure function of the workload. *)
+let prop_identical_seeds_identical_exports =
+  QCheck2.Test.make ~count:4 ~name:"identical seeds export identical traces"
+    QCheck2.Gen.(pair (int_range 0 1000) (int_range 0 1000))
+    (fun (wseed, fseed) ->
+      let run () =
+        let clock = Clock.create () in
+        let eng, _ = make_engine ~clock ~seed:wseed () in
+        let obs = Obs.create ~clock () in
+        let plane =
+          Fault.plan ~seed:fseed
+            [
+              Fault.Tape_soft_errors { device = "L0"; op = `Write; failures = 1 };
+              Fault.Flaky_reads { device = "src.rg0.d0"; failures = 2; prob = 0.5 };
+            ]
+        in
+        Obs.with_armed obs (fun () ->
+            Fault.with_armed plane (fun () ->
+                try
+                  ignore
+                    (Engine.backup eng ~strategy:Strategy.Logical ~subtree:"/data" ())
+                with Fault.Media_error _ | Fault.Transient _ -> ()));
+        (Obs.chrome_trace obs, Obs.metrics_jsonl obs)
+      in
+      let t1, m1 = run () in
+      let t2, m2 = run () in
+      String.equal t1 t2 && String.equal m1 m2)
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "histogram",
+        [
+          ("bucketing edges", `Quick, test_bucket_edges);
+          ("recording and stats", `Quick, test_hist_recording);
+        ] );
+      ( "spans",
+        [
+          ("nesting and instants", `Quick, test_span_nesting);
+          ("unbalanced exits", `Quick, test_unbalanced_exit);
+          ("disabled plane records nothing", `Quick, test_disabled_plane_records_nothing);
+        ] );
+      ( "trace",
+        [
+          ("backup trace structure", `Quick, test_backup_trace_structure);
+          ("fault journal correlation", `Quick, test_fault_correlation);
+        ] );
+      ( "properties",
+        [ QCheck_alcotest.to_alcotest ~long:false prop_identical_seeds_identical_exports ] );
+    ]
