@@ -61,9 +61,9 @@ let summaries =
     ("snap", "Manage snapshots");
     ("quota", "Manage quota-tree limits");
     ("ln", "Create a hard or symbolic link");
-    ("backup", "Run a backup (supports --parts, --resume, --trace-out)");
+    ("backup", "Run a backup (supports --parts, --drives, --resume, --trace-out)");
     ("catalog", "Show the backup catalog (including resumable in-flight jobs)");
-    ("restore", "Logical restore (full chain or selected paths)");
+    ("restore", "Logical restore (full chain or selected paths; --drives replays parts concurrently)");
     ("browse", "Interactively browse a dump and extract files (restore -i)");
     ("disaster", "Recreate the volume from the physical chain into a new store");
     ("verify", "Checksum-verify the physical backup chain");
@@ -348,9 +348,16 @@ let streams_str (e : Catalog.entry) =
   String.concat "," (List.map string_of_int e.Catalog.streams)
 
 let report_entry (e : Catalog.entry) =
-  say "backup #%d: %a level %d of %s — %d bytes on drive %d stream%s %s [%s]%s"
+  let drives =
+    match List.sort_uniq compare e.Catalog.part_drives with
+    | [] -> [ e.Catalog.drive ]
+    | ds -> ds
+  in
+  say "backup #%d: %a level %d of %s — %d bytes on drive%s %s stream%s %s [%s]%s"
     e.Catalog.id Strategy.pp e.Catalog.strategy e.Catalog.level e.Catalog.label
-    e.Catalog.bytes e.Catalog.drive
+    e.Catalog.bytes
+    (if List.length drives > 1 then "s" else "")
+    (String.concat "," (List.map string_of_int drives))
     (if List.length e.Catalog.streams > 1 then "s" else "")
     (streams_str e)
     (String.concat "," e.Catalog.media)
@@ -380,6 +387,15 @@ let parts_arg =
     & info [ "parts" ]
         ~doc:"Split the job into this many independent tape streams.")
 
+let drives_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "drives" ]
+        ~doc:
+          "Schedule parts concurrently across the first this-many stackers \
+           (backup), or replay up to this many part streams at once \
+           (restore).")
+
 let resume_arg =
   Arg.(
     value & flag
@@ -389,15 +405,16 @@ let resume_arg =
            are dumped.")
 
 let backup_args =
-  let tup strategy level subtree drive parts resume =
-    (strategy, level, subtree, drive, parts, resume)
+  let tup strategy level subtree drive drives parts resume =
+    (strategy, level, subtree, drive, drives, parts, resume)
   in
   Term.(
-    const tup $ strategy_arg $ level_arg $ subtree_arg $ drive_arg $ parts_arg
-    $ resume_arg)
+    const tup $ strategy_arg $ level_arg $ subtree_arg $ drive_arg $ drives_arg
+    $ parts_arg $ resume_arg)
 
-let run_backup engine (strategy, level, subtree, drive, parts, resume) =
-  Engine.backup engine ~strategy ?level ~subtree ~drive ~parts ~resume ()
+let run_backup engine (strategy, level, subtree, drive, drives, parts, resume) =
+  let drives = if drives > 1 then Some (List.init drives Fun.id) else None in
+  Engine.backup engine ~strategy ?level ~subtree ~drive ?drives ~parts ~resume ()
 
 let cmd_backup =
   let run store args trace_out metrics_out =
@@ -488,14 +505,15 @@ let cmd_catalog =
 (* ------------------------------ restore ------------------------------ *)
 
 let cmd_restore =
-  let run store label target select trace_out metrics_out =
+  let run store label target select drives trace_out metrics_out =
     handle (fun () ->
         with_store store (fun engine ->
             let fs = Engine.fs engine in
             let select = match select with [] -> None | l -> Some l in
             with_obs trace_out metrics_out (fun _obs ->
                 let results =
-                  Engine.restore_logical engine ~label ~fs ~target ?select ()
+                  Engine.restore_logical engine ~label ~fs ~target ?select
+                    ~concurrency:drives ()
                 in
                 List.iteri
                   (fun i (r : Restore.apply_result) ->
@@ -520,8 +538,8 @@ let cmd_restore =
   Cmd.v
     (Cmd.info "restore" ~doc:(summary "restore"))
     Term.(
-      const run $ store_arg $ label $ target $ select $ trace_out_arg
-      $ metrics_out_arg)
+      const run $ store_arg $ label $ target $ select $ drives_arg
+      $ trace_out_arg $ metrics_out_arg)
 
 let cmd_disaster =
   let run store label output =
@@ -641,11 +659,12 @@ let inject_conv =
   Arg.conv (parse, print)
 
 let cmd_fault =
-  let run store strategy level subtree drive parts seed injects revive trace_out
-      metrics_out =
+  let run store strategy level subtree drive drives parts seed injects revive
+      trace_out metrics_out =
     handle (fun () ->
         with_store store (fun engine ->
             let plane = Fault.plan ~seed injects in
+            let drives = if drives > 1 then Some (List.init drives Fun.id) else None in
             (* A drill always records: the report reads its counters from
                the metrics registry, and the trace carries every injected
                fault as an instant inside the span it hit. *)
@@ -653,7 +672,7 @@ let cmd_fault =
                 Fault.with_armed plane (fun () ->
                     (match
                        Engine.backup engine ~strategy ?level ~subtree ~drive
-                         ~parts ()
+                         ?drives ~parts ()
                      with
                     | entry -> report_entry entry
                     | exception
@@ -701,7 +720,8 @@ let cmd_fault =
     (Cmd.info "fault" ~doc:(summary "fault"))
     Term.(
       const run $ store_arg $ strategy_arg $ level_arg $ subtree_arg $ drive_arg
-      $ parts_arg $ seed $ injects $ revive $ trace_out_arg $ metrics_out_arg)
+      $ drives_arg $ parts_arg $ seed $ injects $ revive $ trace_out_arg
+      $ metrics_out_arg)
 
 let cmd_quota =
   let run store action path limit =

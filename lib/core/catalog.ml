@@ -8,13 +8,20 @@ type entry = {
   drive : int;
   stream : int;
   streams : int list;
+  part_drives : int list;
   media : string list;
   snapshot : string;
   base_snapshot : string;
   degraded : int;
 }
 
-type part_done = { part : int; stream : int; bytes : int; degraded : int }
+type part_done = {
+  part : int;
+  stream : int;
+  drive : int;
+  bytes : int;
+  degraded : int;
+}
 
 type checkpoint = {
   ck_strategy : Strategy.t;
@@ -23,6 +30,7 @@ type checkpoint = {
   ck_date : float;
   ck_subtree : string;
   ck_drive : int;
+  ck_drives : int list;
   ck_parts : int;
   ck_snapshot : string;
   ck_base_snapshot : string;
@@ -127,6 +135,8 @@ let encode t =
       write_u16 w e.drive;
       write_u16 w (List.length e.streams);
       List.iter (fun s -> write_u16 w s) e.streams;
+      write_u16 w (List.length e.part_drives);
+      List.iter (fun d -> write_u16 w d) e.part_drives;
       write_u16 w (List.length e.media);
       List.iter (fun m -> write_string w m) e.media;
       write_string w e.snapshot;
@@ -143,6 +153,8 @@ let encode t =
       write_u64 w (Int64.bits_of_float ck.ck_date);
       write_string w ck.ck_subtree;
       write_u16 w ck.ck_drive;
+      write_u16 w (List.length ck.ck_drives);
+      List.iter (fun d -> write_u16 w d) ck.ck_drives;
       write_u16 w ck.ck_parts;
       write_string w ck.ck_snapshot;
       write_string w ck.ck_base_snapshot;
@@ -153,6 +165,7 @@ let encode t =
         (fun d ->
           write_u16 w d.part;
           write_u16 w d.stream;
+          write_u16 w d.drive;
           write_int w d.bytes;
           write_u32 w d.degraded)
         ck.ck_done)
@@ -175,6 +188,8 @@ let decode s =
         let drive = read_u16 r in
         let nstreams = read_u16 r in
         let streams = List.init nstreams (fun _ -> read_u16 r) in
+        let ndrives = read_u16 r in
+        let part_drives = List.init ndrives (fun _ -> read_u16 r) in
         let nmedia = read_u16 r in
         let media = List.init nmedia (fun _ -> read_string r) in
         let snapshot = read_string r in
@@ -191,6 +206,7 @@ let decode s =
           drive;
           stream;
           streams;
+          part_drives;
           media;
           snapshot;
           base_snapshot;
@@ -206,6 +222,8 @@ let decode s =
         let ck_date = Int64.float_of_bits (read_u64 r) in
         let ck_subtree = read_string r in
         let ck_drive = read_u16 r in
+        let nds = read_u16 r in
+        let ck_drives = List.init nds (fun _ -> read_u16 r) in
         let ck_parts = read_u16 r in
         let ck_snapshot = read_string r in
         let ck_base_snapshot = read_string r in
@@ -216,9 +234,10 @@ let decode s =
           List.init ndone (fun _ ->
               let part = read_u16 r in
               let stream = read_u16 r in
+              let drive = read_u16 r in
               let bytes = read_int r in
               let degraded = read_u32 r in
-              { part; stream; bytes; degraded })
+              { part; stream; drive; bytes; degraded })
         in
         {
           ck_strategy;
@@ -227,6 +246,7 @@ let decode s =
           ck_date;
           ck_subtree;
           ck_drive;
+          ck_drives;
           ck_parts;
           ck_snapshot;
           ck_base_snapshot;

@@ -26,6 +26,9 @@ type entry = {
   streams : int list;
       (** stream index of each part, in part order; a classic
           single-stream backup has exactly one *)
+  part_drives : int list;
+      (** stacker each part's stream lives on, in part order, parallel to
+          [streams]; a single-drive backup repeats [drive] *)
   media : string list;  (** cartridges the streams touch *)
   snapshot : string;  (** snapshot the backup captured ("" for logical) *)
   base_snapshot : string;  (** incremental base ("" if none) *)
@@ -38,6 +41,7 @@ type entry = {
 type part_done = {
   part : int;  (** part index, 0-based *)
   stream : int;  (** stream index its sealed data occupies *)
+  drive : int;  (** stacker that stream was written to *)
   bytes : int;
   degraded : int;
 }
@@ -49,6 +53,9 @@ type checkpoint = {
   ck_date : float;  (** dump date of the interrupted job *)
   ck_subtree : string;
   ck_drive : int;
+  ck_drives : int list;
+      (** the drive pool the job was launched with; [~resume:true] reuses
+          it when the caller does not name one *)
   ck_parts : int;  (** total parts in the job *)
   ck_snapshot : string;  (** snapshot held open for the job's duration *)
   ck_base_snapshot : string;

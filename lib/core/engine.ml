@@ -3,6 +3,7 @@ module Cost = Repro_sim.Cost
 module Clock = Repro_sim.Clock
 module Fs = Repro_wafl.Fs
 module Fsinfo = Repro_wafl.Fsinfo
+module Volume = Repro_block.Volume
 module Library = Repro_tape.Library
 module Tape = Repro_tape.Tape
 module Tapeio = Repro_tape.Tapeio
@@ -15,6 +16,28 @@ module Image_restore = Repro_image.Image_restore
 module Retry = Repro_fault.Retry
 module Obs = Repro_obs.Obs
 
+type io_model = {
+  logical_read_bytes_s : float;
+  image_read_bytes_s : float;
+  logical_write_bytes_s : float;
+  image_write_bytes_s : float;
+  restore_create_latency_s : float;
+}
+
+(* Tuned against the paper's Table 4/5 shape over a DLT7000-class drive
+   (~8.5 MB/s with compression): a logical dump's inode-order reads pull
+   ~2.75 drives' worth of bandwidth from the array before the disks
+   saturate, while an image dump's sequential reads comfortably feed four
+   drives. *)
+let default_io_model =
+  {
+    logical_read_bytes_s = 23.4e6;
+    image_read_bytes_s = 100e6;
+    logical_write_bytes_s = 23.4e6;
+    image_write_bytes_s = 100e6;
+    restore_create_latency_s = 0.0025;
+  }
+
 type t = {
   e_fs : Fs.t;
   libs : Library.t array;
@@ -24,12 +47,14 @@ type t = {
   costs : Cost.t;
   clock : Clock.t option;
   retry : Retry.policy;
+  model : io_model;
   streams : int array; (* streams written per drive *)
   mutable snap_seq : int;
+  mutable stats : Scheduler.stats option;
 }
 
-let create ?cpu ?(costs = Cost.f630) ?clock ?(retry = Retry.default) ~fs ~libraries ()
-    =
+let create ?cpu ?(costs = Cost.f630) ?clock ?(retry = Retry.default)
+    ?(model = default_io_model) ~fs ~libraries () =
   if libraries = [] then invalid_arg "Engine.create: no tape libraries";
   {
     e_fs = fs;
@@ -40,13 +65,36 @@ let create ?cpu ?(costs = Cost.f630) ?clock ?(retry = Retry.default) ~fs ~librar
     costs;
     clock;
     retry;
+    model;
     streams = Array.make (List.length libraries) 0;
     snap_seq = 0;
+    stats = None;
   }
 
 let fs t = t.e_fs
 let catalog t = t.cat
 let dumpdates t = t.dd
+let last_stats t = t.stats
+
+let note_stats t s =
+  let merged =
+    match t.stats with
+    | None -> s
+    | Some prev ->
+      let per_drive =
+        List.fold_left
+          (fun acc (d, b, n) ->
+            match List.partition (fun (d', _, _) -> d' = d) acc with
+            | [ (_, b0, n0) ], rest -> rest @ [ (d, b0 +. b, n0 + n) ]
+            | _ -> acc @ [ (d, b, n) ])
+          prev.Scheduler.per_drive s.Scheduler.per_drive
+      in
+      {
+        Scheduler.elapsed = prev.Scheduler.elapsed +. s.Scheduler.elapsed;
+        per_drive;
+      }
+  in
+  t.stats <- Some merged
 
 let charge_backoff t secs =
   match t.clock with Some c -> Clock.advance c secs | None -> ()
@@ -54,6 +102,28 @@ let charge_backoff t secs =
 let media_of lib before =
   let all = List.map Tape.media_label (Library.used_media lib) in
   List.filter (fun m -> not (List.mem m before)) all
+
+(* Busy-time deltas on [resources] across [f]: the measured half of a
+   part's demand vector (tape transfer, CPU). The execution itself is
+   atomic on simulated time, so the deltas are attributable to this part
+   alone. The source/target disks are deliberately NOT measured: the
+   per-block service model over-serializes what is really an array behind
+   a buffer cache, so disk contention enters the vector only through the
+   modeled [io_model] demand on the shared volume key. *)
+let with_measured resources f =
+  let before = List.map (fun r -> (r, Resource.busy r)) resources in
+  let v = f () in
+  let ds =
+    List.map
+      (fun (r, b) ->
+        { Scheduler.key = Resource.name r; work = Float.max 0.0 (Resource.busy r -. b) })
+      before
+  in
+  (v, ds)
+
+let part_resources t ~drive =
+  (match t.cpu with Some c -> [ c ] | None -> [])
+  @ [ Tape.resource (Library.drive t.libs.(drive)) ]
 
 let snapshot_exists t name =
   List.exists
@@ -90,7 +160,7 @@ let seal_dangling t ~drive =
 (* Build the checkpoint describing a fresh job, creating its snapshot; a
    stale checkpoint for the same (strategy, label) is an abandoned job —
    discard it along with its snapshot. *)
-let fresh_checkpoint t ~strategy ~level ~subtree ~drive ~label ~parts =
+let fresh_checkpoint t ~strategy ~level ~subtree ~drives ~label ~parts =
   (match Catalog.find_checkpoint t.cat ~strategy ~label with
   | Some stale ->
     if stale.Catalog.ck_snapshot <> "" && snapshot_exists t stale.Catalog.ck_snapshot
@@ -127,7 +197,8 @@ let fresh_checkpoint t ~strategy ~level ~subtree ~drive ~label ~parts =
     ck_level = level;
     ck_date = date;
     ck_subtree = subtree;
-    ck_drive = drive;
+    ck_drive = List.hd drives;
+    ck_drives = drives;
     ck_parts = parts;
     ck_snapshot = snap;
     ck_base_snapshot = base;
@@ -135,39 +206,65 @@ let fresh_checkpoint t ~strategy ~level ~subtree ~drive ~label ~parts =
     ck_done = [];
   }
 
-let do_backup t ~strategy ~level ~subtree ?exclude ~drive ~label ~parts ~resume
-    () =
+let do_backup t ~strategy ~level ~subtree ?exclude ~drive ~drives:requested
+    ~label ~parts ~resume () =
   if parts < 1 then invalid_arg "Engine.backup: parts must be >= 1";
+  (match requested with
+  | Some [] -> invalid_arg "Engine.backup: empty drive pool"
+  | _ -> ());
   let ck =
     if resume then (
       match Catalog.find_checkpoint t.cat ~strategy ~label with
       | Some ck -> ck
       | None ->
         raise (Fs.Error (Printf.sprintf "no interrupted backup of %S to resume" label)))
-    else fresh_checkpoint t ~strategy ~level ~subtree ~drive ~label ~parts
+    else
+      fresh_checkpoint t ~strategy ~level ~subtree
+        ~drives:(match requested with Some l -> l | None -> [ drive ])
+        ~label ~parts
   in
   Catalog.set_checkpoint t.cat ck;
   let level = ck.Catalog.ck_level in
   let subtree = ck.Catalog.ck_subtree in
-  let drive = ck.Catalog.ck_drive in
   let parts = ck.Catalog.ck_parts in
   let date = ck.Catalog.ck_date in
+  (* The drive pool: an explicit request wins; a resume otherwise reuses
+     the pool the job was launched with. *)
+  let drives =
+    match requested with
+    | Some l -> l
+    | None -> (
+      match ck.Catalog.ck_drives with [] -> [ ck.Catalog.ck_drive ] | l -> l)
+  in
+  List.iter
+    (fun d ->
+      if d < 0 || d >= Array.length t.libs then
+        invalid_arg (Printf.sprintf "Engine.backup: no drive %d" d))
+    drives;
   Obs.annotate
     [
       ("level", Obs.Int level);
       ("parts", Obs.Int parts);
+      ("drives", Obs.Int (List.length drives));
       ("snapshot", Obs.Str ck.Catalog.ck_snapshot);
     ];
-  let lib = t.libs.(drive) in
-  (* Seal whatever stream the interrupting fault cut off. *)
-  seal_dangling t ~drive;
-  let media_before = List.map Tape.media_label (Library.used_media lib) in
+  (* Seal whatever streams an interrupting fault cut off, on every drive
+     in the pool. *)
+  List.iter (fun d -> seal_dangling t ~drive:d) drives;
+  let media_before =
+    List.map
+      (fun d -> (d, List.map Tape.media_label (Library.used_media t.libs.(d))))
+      drives
+  in
   let done_parts = ref ck.Catalog.ck_done in
   let media_acc = ref ck.Catalog.ck_media in
   let merge_media () =
     List.iter
-      (fun m -> if not (List.mem m !media_acc) then media_acc := !media_acc @ [ m ])
-      (media_of lib media_before)
+      (fun (d, before) ->
+        List.iter
+          (fun m -> if not (List.mem m !media_acc) then media_acc := !media_acc @ [ m ])
+          (media_of t.libs.(d) before))
+      media_before
   in
   let save_checkpoint () =
     Catalog.set_checkpoint t.cat
@@ -176,58 +273,120 @@ let do_backup t ~strategy ~level ~subtree ?exclude ~drive ~label ~parts ~resume
   let is_done p =
     List.exists (fun (d : Catalog.part_done) -> d.Catalog.part = p) !done_parts
   in
-  let run_part p =
-    Obs.with_span "part"
-      ~attrs:[ ("part", Obs.Int (p + 1)); ("parts", Obs.Int parts) ]
-    @@ fun () ->
-    let bytes, degraded =
-      Retry.run ~policy:t.retry
-        ~charge:(charge_backoff t)
-        ~cleanup:(fun _ -> seal_dangling t ~drive)
-        ~label:(Printf.sprintf "%s part %d/%d" label (p + 1) parts)
-        (fun () ->
-          let sink = Tapeio.sink lib in
-          match strategy with
-          | Strategy.Logical ->
-            let view = Fs.snapshot_view t.e_fs ck.Catalog.ck_snapshot in
-            let r =
-              Dump.run ~level ~dumpdates:t.dd ~record:false ?exclude ?cpu:t.cpu
-                ~costs:t.costs ~part:(p, parts) ~view ~subtree ~label ~date ~sink ()
-            in
-            (r.Dump.bytes_written, r.Dump.files_skipped)
-          | Strategy.Physical ->
-            let r =
-              if ck.Catalog.ck_base_snapshot = "" then
-                Image_dump.full ?cpu:t.cpu ~costs:t.costs ~part:(p, parts) ~fs:t.e_fs
-                  ~snapshot:ck.Catalog.ck_snapshot ~sink ()
-              else
-                Image_dump.incremental ?cpu:t.cpu ~costs:t.costs ~part:(p, parts)
-                  ~fs:t.e_fs ~base:ck.Catalog.ck_base_snapshot
-                  ~snapshot:ck.Catalog.ck_snapshot ~sink ()
-            in
-            (r.Image_dump.bytes_written, 0))
-    in
-    let stream = t.streams.(drive) in
-    t.streams.(drive) <- stream + 1;
+  let disk = Volume.resource (Fs.volume t.e_fs) in
+  let part_job p =
+    {
+      Scheduler.label = Printf.sprintf "part %d/%d" (p + 1) parts;
+      pin = None;
+      execute =
+        (fun ~drive ->
+          Obs.with_span "part"
+            ~attrs:
+              [
+                ("part", Obs.Int (p + 1));
+                ("parts", Obs.Int parts);
+                ("drive", Obs.Int drive);
+              ]
+          @@ fun () ->
+          let lib = t.libs.(drive) in
+          let (bytes, degraded), measured =
+            with_measured (part_resources t ~drive) (fun () ->
+                Retry.run ~policy:t.retry
+                  ~charge:(charge_backoff t)
+                  ~cleanup:(fun _ -> seal_dangling t ~drive)
+                  ~label:(Printf.sprintf "%s part %d/%d" label (p + 1) parts)
+                  (fun () ->
+                    let sink = Tapeio.sink lib in
+                    match strategy with
+                    | Strategy.Logical ->
+                      let view = Fs.snapshot_view t.e_fs ck.Catalog.ck_snapshot in
+                      let r =
+                        Dump.run ~level ~dumpdates:t.dd ~record:false ?exclude
+                          ?cpu:t.cpu ~costs:t.costs ~part:(p, parts) ~view
+                          ~subtree ~label ~date ~sink ()
+                      in
+                      (r.Dump.bytes_written, r.Dump.files_skipped)
+                    | Strategy.Physical ->
+                      let r =
+                        if ck.Catalog.ck_base_snapshot = "" then
+                          Image_dump.full ?cpu:t.cpu ~costs:t.costs
+                            ~part:(p, parts) ~fs:t.e_fs
+                            ~snapshot:ck.Catalog.ck_snapshot ~sink ()
+                        else
+                          Image_dump.incremental ?cpu:t.cpu ~costs:t.costs
+                            ~part:(p, parts) ~fs:t.e_fs
+                            ~base:ck.Catalog.ck_base_snapshot
+                            ~snapshot:ck.Catalog.ck_snapshot ~sink ()
+                      in
+                      (r.Image_dump.bytes_written, 0)))
+          in
+          let stream = t.streams.(drive) in
+          t.streams.(drive) <- stream + 1;
+          (* The read path is mostly absorbed by the buffer cache, so the
+             contention the paper measures — inode-order logical reads
+             saturating the array, sequential image reads not — enters as
+             a modeled demand on the shared source disks. *)
+          let rate =
+            match strategy with
+            | Strategy.Logical -> t.model.logical_read_bytes_s
+            | Strategy.Physical -> t.model.image_read_bytes_s
+          in
+          let modeled =
+            { Scheduler.key = Resource.name disk; work = Float.of_int bytes /. rate }
+          in
+          ({ Catalog.part = p; stream; drive; bytes; degraded }, modeled :: measured));
+    }
+  in
+  let pending = List.filter (fun p -> not (is_done p)) (List.init parts Fun.id) in
+  let on_complete _ (c : Catalog.part_done Scheduler.completion) =
     done_parts :=
       List.sort
         (fun (a : Catalog.part_done) b -> compare a.Catalog.part b.Catalog.part)
-        ({ Catalog.part = p; stream; bytes; degraded } :: !done_parts);
+        (c.Scheduler.value :: !done_parts);
     merge_media ();
-    save_checkpoint ()
+    save_checkpoint ();
+    Obs.instant "scheduler.part_done"
+      ~attrs:
+        [
+          ("part", Obs.Int (c.Scheduler.value.Catalog.part + 1));
+          ("drive", Obs.Int c.Scheduler.drive);
+          ("sim_finish_s", Obs.Float c.Scheduler.finished);
+        ]
   in
-  (try
-     for p = 0 to parts - 1 do
-       if not (is_done p) then run_part p
-     done
-   with e ->
-     (* A hard fault: persist what completed (and the cartridges touched)
-        so [backup ~resume:true] re-dumps only the unfinished parts. *)
-     merge_media ();
-     save_checkpoint ();
-     raise e);
+  let outcomes, stats =
+    Scheduler.run
+      ~fatal:(function Repro_fault.Fault.Drive_dead _ -> true | _ -> false)
+      ~on_complete ~drives
+      (List.map part_job pending)
+  in
+  note_stats t stats;
+  List.iter
+    (fun (d, busy, _) ->
+      Obs.set_gauge (Printf.sprintf "scheduler.drive%d.busy_s" d) busy;
+      Obs.set_gauge
+        (Printf.sprintf "scheduler.drive%d.utilization" d)
+        (if stats.Scheduler.elapsed > 0.0 then busy /. stats.Scheduler.elapsed
+         else 0.0))
+    stats.Scheduler.per_drive;
+  Obs.annotate [ ("sim_elapsed_s", Obs.Float stats.Scheduler.elapsed) ];
+  (match
+     Array.to_list outcomes
+     |> List.filter_map (function
+          | Scheduler.Failed { error; _ } -> Some error
+          | _ -> None)
+   with
+  | [] -> ()
+  | error :: _ ->
+    (* A hard fault: persist what completed (and the cartridges touched)
+       so [backup ~resume:true] re-dumps only the unfinished parts. *)
+    merge_media ();
+    save_checkpoint ();
+    raise error);
   let done_list = !done_parts in
   let streams = List.map (fun (d : Catalog.part_done) -> d.Catalog.stream) done_list in
+  let part_drives =
+    List.map (fun (d : Catalog.part_done) -> d.Catalog.drive) done_list
+  in
   let bytes = List.fold_left (fun a (d : Catalog.part_done) -> a + d.Catalog.bytes) 0 done_list in
   let degraded =
     List.fold_left (fun a (d : Catalog.part_done) -> a + d.Catalog.degraded) 0 done_list
@@ -257,9 +416,10 @@ let do_backup t ~strategy ~level ~subtree ?exclude ~drive ~label ~parts ~resume
       level;
       date;
       bytes;
-      drive;
+      drive = ck.Catalog.ck_drive;
       stream = (match streams with s :: _ -> s | [] -> 0);
       streams;
+      part_drives;
       media = !media_acc;
       snapshot =
         (match strategy with
@@ -270,8 +430,9 @@ let do_backup t ~strategy ~level ~subtree ?exclude ~drive ~label ~parts ~resume
     }
 
 let backup t ~strategy ?(level = 0) ?(subtree = "/") ?exclude ?(drive = 0)
-    ?label ?(parts = 1) ?(resume = false) () =
+    ?drives ?label ?(parts = 1) ?(resume = false) () =
   let label = match label with Some l -> l | None -> subtree in
+  t.stats <- None;
   Obs.with_span "engine.backup"
     ~attrs:
       [
@@ -281,21 +442,64 @@ let backup t ~strategy ?(level = 0) ?(subtree = "/") ?exclude ?(drive = 0)
       ]
     (fun () ->
       let entry =
-        do_backup t ~strategy ~level ~subtree ?exclude ~drive ~label ~parts
-          ~resume ()
+        do_backup t ~strategy ~level ~subtree ?exclude ~drive ~drives ~label
+          ~parts ~resume ()
       in
       Obs.set_gauge "fs.used_blocks" (Float.of_int (Fs.used_blocks t.e_fs));
       Obs.set_gauge "fs.free_blocks" (Float.of_int (Fs.free_blocks t.e_fs));
       entry)
 
-let source_at t (e : Catalog.entry) stream =
-  Tapeio.source ~skip_streams:stream t.libs.(e.Catalog.drive)
+(* Each part's (stream, drive) address. Entries predating multi-drive
+   pools (or hand-built in tests) may carry no per-part drives; they fall
+   back to the entry's single drive. *)
+let part_locations (e : Catalog.entry) =
+  let drives =
+    if List.length e.Catalog.part_drives = List.length e.Catalog.streams then
+      e.Catalog.part_drives
+    else List.map (fun _ -> e.Catalog.drive) e.Catalog.streams
+  in
+  List.combine e.Catalog.streams drives
+
+let source_on t ~drive stream = Tapeio.source ~skip_streams:stream t.libs.(drive)
 
 (* Run [f] over each of the entry's part streams in part order, merging
    with [merge]. Sources are created one at a time: each creation rewinds
-   the shared stacker. *)
+   its stacker. *)
 let over_streams t (e : Catalog.entry) ~f ~merge ~zero =
-  List.fold_left (fun acc s -> merge acc (f (source_at t e s))) zero e.Catalog.streams
+  List.fold_left
+    (fun acc (stream, drive) -> merge acc (f (source_on t ~drive stream)))
+    zero (part_locations e)
+
+(* Replay one entry's part streams through the drive scheduler: each part
+   pinned to the drive that wrote it, [concurrency] capping in-flight
+   parts (1 = the classic serial restore, in part order — parts are
+   independent, so any completion order yields the same tree). Entries of
+   a chain are applied one after another: an incremental must not overtake
+   its base. *)
+let scheduled_parts t ~concurrency (e : Catalog.entry) ~execute =
+  let locs = part_locations e in
+  let drives = List.sort_uniq compare (List.map snd locs) in
+  let jobs =
+    List.mapi
+      (fun i (stream, drive) ->
+        {
+          Scheduler.label =
+            Printf.sprintf "restore part %d/%d" (i + 1) (List.length locs);
+          pin = Some drive;
+          execute = (fun ~drive -> execute ~stream ~drive);
+        })
+      locs
+  in
+  let outcomes, stats = Scheduler.run ~max_active:concurrency ~drives jobs in
+  note_stats t stats;
+  Array.iter
+    (function Scheduler.Failed { error; _ } -> raise error | _ -> ())
+    outcomes;
+  Array.to_list outcomes
+  |> List.map (function
+       | Scheduler.Done c -> c.Scheduler.value
+       | Scheduler.Failed _ | Scheduler.Skipped ->
+         raise (Fs.Error "restore part did not run"))
 
 let sum_apply =
   List.fold_left
@@ -317,47 +521,76 @@ let sum_apply =
       corrupt_headers_skipped = 0;
     }
 
-let apply_entry t session ?select (e : Catalog.entry) =
-  sum_apply
-    (over_streams t e
-       ~f:(fun src -> [ Restore.apply ?select session src ])
-       ~merge:(fun a b -> a @ b)
-       ~zero:[])
+let apply_entry t session ?select ~disk ~concurrency (e : Catalog.entry) =
+  let execute ~stream ~drive =
+    Obs.with_span "restore part"
+      ~attrs:[ ("stream", Obs.Int stream); ("drive", Obs.Int drive) ]
+    @@ fun () ->
+    let r, measured =
+      with_measured (part_resources t ~drive) (fun () ->
+          Restore.apply ?select session (source_on t ~drive stream))
+    in
+    let modeled =
+      {
+        Scheduler.key = Resource.name disk;
+        work =
+          (Float.of_int r.Restore.bytes_restored /. t.model.logical_write_bytes_s)
+          +. Float.of_int r.Restore.files_restored
+             *. t.model.restore_create_latency_s;
+      }
+    in
+    (r, modeled :: measured)
+  in
+  sum_apply (scheduled_parts t ~concurrency e ~execute)
 
-let restore_logical t ~label ~fs ~target ?select () =
+let restore_logical t ~label ~fs ~target ?select ?(concurrency = 1) () =
   Obs.with_span "engine.restore"
     ~attrs:[ ("strategy", Obs.Str "logical"); ("label", Obs.Str label) ]
   @@ fun () ->
+  t.stats <- None;
   match Catalog.restore_chain t.cat ~label ~strategy:Strategy.Logical with
   | [] -> raise (Fs.Error (Printf.sprintf "no logical backups of %S" label))
-  | chain ->
+  | chain -> (
     let session = Restore.session ?cpu:t.cpu ~costs:t.costs ~fs ~target () in
-    (match select with
+    let disk = Volume.resource (Fs.volume fs) in
+    match select with
     | Some _ ->
       (* Selective extraction reads only the newest full dump. *)
       let full = List.hd chain in
-      [ apply_entry t session ?select full ]
-    | None -> List.map (fun e -> apply_entry t session e) chain)
+      [ apply_entry t session ?select ~disk ~concurrency full ]
+    | None -> List.map (fun e -> apply_entry t session ~disk ~concurrency e) chain)
 
-let restore_physical t ~label ~volume () =
+let restore_physical t ~label ~volume ?(concurrency = 1) () =
   Obs.with_span "engine.restore"
     ~attrs:[ ("strategy", Obs.Str "physical"); ("label", Obs.Str label) ]
   @@ fun () ->
+  t.stats <- None;
   match Catalog.restore_chain t.cat ~label ~strategy:Strategy.Physical with
   | [] -> raise (Fs.Error (Printf.sprintf "no physical backups of %S" label))
   | chain ->
+    let disk = Volume.resource volume in
     List.map
       (fun e ->
-        let rs =
-          over_streams t e
-            ~f:(fun src ->
-              [ Image_restore.apply ?cpu:t.cpu ~costs:t.costs ~volume src ])
-            ~merge:(fun a b -> a @ b)
-            ~zero:[]
+        let execute ~stream ~drive =
+          Obs.with_span "restore part"
+            ~attrs:[ ("stream", Obs.Int stream); ("drive", Obs.Int drive) ]
+          @@ fun () ->
+          let r, measured =
+            with_measured (part_resources t ~drive) (fun () ->
+                Image_restore.apply ?cpu:t.cpu ~costs:t.costs ~volume
+                  (source_on t ~drive stream))
+          in
+          let modeled =
+            {
+              Scheduler.key = Resource.name disk;
+              work = Float.of_int r.Image_restore.bytes_read /. t.model.image_write_bytes_s;
+            }
+          in
+          (r, modeled :: measured)
         in
-        match rs with
+        match scheduled_parts t ~concurrency e ~execute with
         | [] -> assert false
-        | first :: _ ->
+        | first :: _ as rs ->
           {
             first with
             Image_restore.blocks_restored =
@@ -399,7 +632,7 @@ let verify_logical t ~label ~fs ~target =
 
 let save w t =
   let open Repro_util.Serde in
-  write_fixed w "RENG2";
+  write_fixed w "RENG3";
   write_u16 w (Array.length t.libs);
   Array.iter (fun lib -> Library.save w lib) t.libs;
   Array.iter (fun s -> write_u32 w s) t.streams;
@@ -407,16 +640,30 @@ let save w t =
   write_string w (Catalog.encode t.cat);
   write_u32 w t.snap_seq
 
-let load ?cpu ?(costs = Cost.f630) ?clock ?(retry = Retry.default) r ~fs =
+let load ?cpu ?(costs = Cost.f630) ?clock ?(retry = Retry.default)
+    ?(model = default_io_model) r ~fs =
   let open Repro_util.Serde in
-  expect_magic r "RENG2";
+  expect_magic r "RENG3";
   let nlibs = read_u16 r in
   let libs = Array.init nlibs (fun _ -> Library.load r) in
   let streams = Array.init nlibs (fun _ -> read_u32 r) in
   let dd = Dumpdates.decode (read_string r) in
   let cat = Catalog.decode (read_string r) in
   let snap_seq = read_u32 r in
-  { e_fs = fs; libs; dd; cat; cpu; costs; clock; retry; streams; snap_seq }
+  {
+    e_fs = fs;
+    libs;
+    dd;
+    cat;
+    cpu;
+    costs;
+    clock;
+    retry;
+    model;
+    streams;
+    snap_seq;
+    stats = None;
+  }
 
 let verify_physical t ~label =
   match Catalog.restore_chain t.cat ~label ~strategy:Strategy.Physical with

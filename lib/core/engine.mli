@@ -19,26 +19,62 @@
     hard fault (dead drive, failed disk) resumes with
     [backup ~resume:true], re-dumping only the unfinished parts from the
     {e same} snapshot. A stream the fault cut off mid-write is sealed with
-    a filemark so stream addressing stays consistent. *)
+    a filemark so stream addressing stays consistent.
+
+    {b Concurrency.} With [~drives] a multi-part backup schedules its
+    parts concurrently across a pool of stackers ({!Scheduler}): real tape
+    content per drive is identical to running those parts serially on that
+    drive, while elapsed simulated time reflects max-min fair sharing of
+    the source disks between in-flight parts — logical dump's inode-order
+    reads saturate the array, image dump's sequential reads scale with the
+    drives (Tables 4/5). Restores replay each part on the drive that wrote
+    it, up to [~concurrency] at a time. {!last_stats} reports the
+    schedule's makespan and per-drive busy time. *)
 
 type t
+
+type io_model = {
+  logical_read_bytes_s : float;
+      (** aggregate array read bandwidth available to a logical dump's
+          inode-order reads (the paper's disk-saturation bottleneck) *)
+  image_read_bytes_s : float;
+      (** same for an image dump's sequential block reads *)
+  logical_write_bytes_s : float;  (** restore-side logical write bandwidth *)
+  image_write_bytes_s : float;  (** restore-side image write bandwidth *)
+  restore_create_latency_s : float;  (** per-file creation cost on restore *)
+}
+(** The modeled half of a part's demand vector: what the shared source (or
+    target) disks can deliver to each access pattern. The measured half —
+    tape transfer, real disk service, CPU — comes from {!Repro_sim.Resource}
+    busy deltas. *)
+
+val default_io_model : io_model
+(** Tuned to the paper's Table 4/5 shape over ~8.5 MB/s DLT7000-class
+    drives: logical saturates near 2.75 drives' bandwidth, image feeds four
+    drives comfortably. *)
 
 val create :
   ?cpu:Repro_sim.Resource.t ->
   ?costs:Repro_sim.Cost.t ->
   ?clock:Repro_sim.Clock.t ->
   ?retry:Repro_fault.Retry.policy ->
+  ?model:io_model ->
   fs:Repro_wafl.Fs.t ->
   libraries:Repro_tape.Library.t list ->
   unit ->
   t
 (** [clock] receives the retry backoff delays ({!Repro_fault.Retry.run});
     without one, backoff costs no simulated time. [retry] defaults to
-    {!Repro_fault.Retry.default}. *)
+    {!Repro_fault.Retry.default}; [model] to {!default_io_model}. *)
 
 val fs : t -> Repro_wafl.Fs.t
 val catalog : t -> Catalog.t
 val dumpdates : t -> Repro_dump.Dumpdates.t
+
+val last_stats : t -> Scheduler.stats option
+(** Drive-pool schedule of the most recent backup or restore: simulated
+    makespan and per-drive busy seconds / job counts (summed over a restore
+    chain's entries). [None] before any scheduled operation. *)
 
 val backup :
   t ->
@@ -47,6 +83,7 @@ val backup :
   ?subtree:string ->
   ?exclude:Repro_dump.Filter.t ->
   ?drive:int ->
+  ?drives:int list ->
   ?label:string ->
   ?parts:int ->
   ?resume:bool ->
@@ -64,12 +101,21 @@ val backup :
     completed part is checkpointed in the catalog. If a hard fault kills
     the job, the exception propagates with the checkpoint (and the job's
     snapshot) left in place; [resume] then picks the job up — [level],
-    [subtree], [parts], [drive] and the dump date come from the
+    [subtree], [parts], the drive pool and the dump date come from the
     checkpoint, only unfinished parts are dumped, and the result entry
     covers the whole job. [~resume:true] with no checkpoint for
     (strategy, label) raises [Repro_wafl.Fs.Error]. A fresh backup
     discards any stale checkpoint (and its snapshot) for the same key.
     [exclude] is not checkpointed; pass it again on resume.
+
+    [drives] (default [[drive]]) is the pool: parts are admitted in order
+    to free drives and run concurrently on simulated time. A drive killed
+    by a hard fault ({!Repro_fault.Fault.Drive_dead}) loses only its
+    in-flight part — the rest of the queue drains on the surviving drives,
+    every completed part is checkpointed with the drive it landed on, and
+    the fault then propagates; [~resume:true] re-dumps exactly the
+    unfinished parts. Raises [Invalid_argument] on an empty, duplicated or
+    out-of-range pool.
 
     Transient faults never surface here: each part attempt retries under
     the engine's {!Repro_fault.Retry.policy}, sealing the partial stream
@@ -82,6 +128,7 @@ val restore_logical :
   fs:Repro_wafl.Fs.t ->
   target:string ->
   ?select:string list ->
+  ?concurrency:int ->
   unit ->
   Repro_dump.Restore.apply_result list
 (** Apply the full-plus-incrementals chain for [label] into
@@ -89,17 +136,20 @@ val restore_logical :
     full dump only (stupidity recovery does not need the whole chain when
     the file is on the level-0 tape; for files created later, restore the
     chain without [select]). Each result sums over the entry's part
-    streams, applied in part order. *)
+    streams; [concurrency] (default 1 — strict part order) lets up to that
+    many parts replay at once, each on the drive that wrote it, with
+    entries of the chain still applied strictly in order. *)
 
 val restore_physical :
   t ->
   label:string ->
   volume:Repro_block.Volume.t ->
+  ?concurrency:int ->
   unit ->
   Repro_image.Image_restore.result list
 (** Disaster recovery: replay the image chain onto a (new) volume. Mount
     it afterwards with [Repro_wafl.Fs.mount]. Each result sums over the
-    entry's part streams. *)
+    entry's part streams; [concurrency] as in {!restore_logical}. *)
 
 val verify_physical : t -> label:string -> (int, string list) result
 (** Checksum-verify every stream of the physical chain. *)
@@ -132,6 +182,7 @@ val load :
   ?costs:Repro_sim.Cost.t ->
   ?clock:Repro_sim.Clock.t ->
   ?retry:Repro_fault.Retry.policy ->
+  ?model:io_model ->
   Repro_util.Serde.reader ->
   fs:Repro_wafl.Fs.t ->
   t

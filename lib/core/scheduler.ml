@@ -1,0 +1,183 @@
+module Sim = Repro_sim.Engine
+module Pipeline = Repro_sim.Pipeline
+
+type demand = { key : string; work : float }
+
+type 'a job = {
+  label : string;
+  pin : int option;
+  execute : drive:int -> 'a * demand list;
+}
+
+type 'a completion = { value : 'a; drive : int; started : float; finished : float }
+
+type 'a outcome =
+  | Done of 'a completion
+  | Failed of { error : exn; drive : int; at : float }
+  | Skipped
+
+type stats = { elapsed : float; per_drive : (int * float * int) list }
+
+let eps = 1e-9
+
+(* One in-flight job: side effects already done, only its simulated
+   duration is still being played out. [remaining] is the fraction left. *)
+type 'a flight = {
+  f_job : int;
+  f_drive : int;
+  f_started : float;
+  f_value : 'a;
+  f_demands : (string * float) list;
+  mutable f_remaining : float;
+}
+
+let run ?(fatal = fun _ -> false) ?max_active ?on_complete ~drives jobs =
+  if drives = [] then invalid_arg "Scheduler.run: empty drive pool";
+  let seen = Hashtbl.create 8 in
+  List.iter
+    (fun d ->
+      if Hashtbl.mem seen d then invalid_arg "Scheduler.run: duplicate drive in pool";
+      Hashtbl.add seen d ())
+    drives;
+  let max_active =
+    match max_active with
+    | Some k when k >= 1 -> k
+    | Some _ -> invalid_arg "Scheduler.run: max_active must be positive"
+    | None -> List.length drives
+  in
+  let jobs = Array.of_list jobs in
+  let n = Array.length jobs in
+  let outcomes = Array.make n Skipped in
+  let sim = Sim.create () in
+  let free = ref drives in
+  let dead = Hashtbl.create 4 in
+  let aborted = ref false in
+  let waiting = ref (List.init n Fun.id) in
+  let active : 'a flight list ref = ref [] in
+  let busy = Hashtbl.create 8 in
+  let served = Hashtbl.create 8 in
+  List.iter
+    (fun d ->
+      Hashtbl.replace busy d (ref 0.0);
+      Hashtbl.replace served d (ref 0))
+    drives;
+  let take_drive = function
+    | Some d ->
+      if List.mem d !free then begin
+        free := List.filter (fun x -> x <> d) !free;
+        Some d
+      end
+      else None
+    | None -> (
+      match !free with
+      | d :: rest ->
+        free := rest;
+        Some d
+      | [] -> None)
+  in
+  let release d = if not (Hashtbl.mem dead d) then free := !free @ [ d ] in
+  (* Admit as many waiting jobs as drives and [max_active] allow, scanning
+     the queue in order. A job pinned to a dead drive can never run and is
+     dropped from the queue (its outcome stays [Skipped]). *)
+  let rec admit () =
+    if (not !aborted) && List.length !active < max_active && !free <> [] then begin
+      let rec pick acc = function
+        | [] -> None
+        | j :: rest -> (
+          match jobs.(j).pin with
+          | Some d when Hashtbl.mem dead d ->
+            waiting := List.rev_append acc rest;
+            pick [] !waiting
+          | pin -> (
+            match take_drive pin with
+            | Some d ->
+              waiting := List.rev_append acc rest;
+              Some (j, d)
+            | None -> pick (j :: acc) rest))
+      in
+      match pick [] !waiting with
+      | None -> ()
+      | Some (j, drive) ->
+        let started = Sim.now sim in
+        incr (Hashtbl.find served drive);
+        (match jobs.(j).execute ~drive with
+        | value, demands ->
+          let demands =
+            List.filter_map
+              (fun d -> if d.work > eps then Some (d.key, d.work) else None)
+              demands
+          in
+          active :=
+            !active
+            @ [
+                {
+                  f_job = j;
+                  f_drive = drive;
+                  f_started = started;
+                  f_value = value;
+                  f_demands = demands;
+                  f_remaining = 1.0;
+                };
+              ]
+        | exception error ->
+          outcomes.(j) <- Failed { error; drive; at = started };
+          if fatal error then Hashtbl.replace dead drive ()
+          else begin
+            aborted := true;
+            release drive
+          end);
+        admit ()
+    end
+  in
+  (* Arm the next completion: solve fair-share rates for the in-flight
+     set, advance to the earliest finish, complete everything that
+     reaches zero, refill, repeat. One event in the heap at a time. *)
+  let rec arm () =
+    match !active with
+    | [] -> ()
+    | flights ->
+      let rates =
+        Pipeline.fair_share (Array.of_list (List.map (fun f -> f.f_demands) flights))
+      in
+      let _, dt =
+        List.fold_left
+          (fun (i, acc) f ->
+            (i + 1, Float.min acc (f.f_remaining /. Float.max rates.(i) eps)))
+          (0, infinity) flights
+      in
+      let dt = Float.max dt 0.0 in
+      Sim.schedule_in sim dt (fun () ->
+          let now = Sim.now sim in
+          List.iteri
+            (fun i f -> f.f_remaining <- f.f_remaining -. (rates.(i) *. dt))
+            flights;
+          let finished, still =
+            List.partition (fun f -> f.f_remaining <= eps) flights
+          in
+          active := still;
+          List.iter
+            (fun f ->
+              let c =
+                {
+                  value = f.f_value;
+                  drive = f.f_drive;
+                  started = f.f_started;
+                  finished = now;
+                }
+              in
+              outcomes.(f.f_job) <- Done c;
+              let b = Hashtbl.find busy f.f_drive in
+              b := !b +. (now -. f.f_started);
+              release f.f_drive;
+              match on_complete with Some h -> h f.f_job c | None -> ())
+            finished;
+          admit ();
+          arm ())
+  in
+  admit ();
+  arm ();
+  Sim.run sim;
+  let per_drive =
+    List.map (fun d -> (d, !(Hashtbl.find busy d), !(Hashtbl.find served d))) drives
+  in
+  (outcomes, { elapsed = Sim.now sim; per_drive })

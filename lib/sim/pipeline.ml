@@ -121,6 +121,71 @@ let solve_rates tasks =
       end
   done
 
+(* Same progressive filling as {!solve_rates}, but over plain string-keyed
+   demand vectors so callers that are not fluid streams (the data-plane
+   drive scheduler) can share the solver. Resources are scanned in sorted
+   key order so the bottleneck choice — and thus the rate vector — is
+   deterministic regardless of construction order. *)
+let fair_share demands =
+  let n = Array.length demands in
+  let rates = Array.make n 0.0 in
+  let keys =
+    Array.fold_left
+      (fun acc ds ->
+        List.fold_left (fun acc (k, w) -> if w > eps then k :: acc else acc) acc ds)
+      [] demands
+    |> List.sort_uniq String.compare
+  in
+  let weight i key =
+    List.fold_left
+      (fun acc (k, w) -> if String.equal k key then acc +. w else acc)
+      0.0 demands.(i)
+  in
+  let residual = Hashtbl.create 16 in
+  List.iter (fun k -> Hashtbl.replace residual k 1.0) keys;
+  let unfrozen = ref (List.init n Fun.id) in
+  let level = ref 0.0 in
+  let continue = ref true in
+  while !continue && !unfrozen <> [] do
+    let best = ref None in
+    List.iter
+      (fun key ->
+        let total_w = List.fold_left (fun acc i -> acc +. weight i key) 0.0 !unfrozen in
+        if total_w > eps then begin
+          let delta = (Hashtbl.find residual key -. (!level *. total_w)) /. total_w in
+          match !best with
+          | Some (_, d) when d <= delta -> ()
+          | _ -> best := Some (key, delta)
+        end)
+      keys;
+    match !best with
+    | None ->
+      (* Remaining vectors are all-zero: unconstrained, effectively instant. *)
+      List.iter (fun i -> rates.(i) <- 1e12) !unfrozen;
+      continue := false
+    | Some (bottleneck, delta) ->
+      let new_level = !level +. Float.max 0.0 delta in
+      let frozen_now, still =
+        List.partition (fun i -> weight i bottleneck > eps) !unfrozen
+      in
+      List.iter
+        (fun i ->
+          rates.(i) <- new_level;
+          List.iter
+            (fun (k, w) ->
+              if w > eps then
+                Hashtbl.replace residual k (Hashtbl.find residual k -. (new_level *. w)))
+            demands.(i))
+        frozen_now;
+      level := new_level;
+      unfrozen := still;
+      if frozen_now = [] then begin
+        List.iter (fun i -> rates.(i) <- Float.max new_level eps) !unfrozen;
+        continue := false
+      end
+  done;
+  rates
+
 let run ?clock streams =
   let clock = match clock with Some c -> c | None -> Clock.create () in
   let start_time = Clock.now clock in

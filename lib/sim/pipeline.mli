@@ -43,6 +43,16 @@ type stage_summary = {
 
 type report = { elapsed : float; stages : stage_summary list }
 
+val fair_share : (string * float) list array -> float array
+(** Max-min fair progress rates (stage fractions per second) for a set of
+    tasks given as plain string-keyed demand vectors, each entry meaning
+    "[work] seconds of service from the unit-capacity resource named [key]
+    per unit of progress". Progressive filling, identical in spirit to the
+    solver behind {!run}, but usable by callers that are not fluid streams
+    (the data-plane drive scheduler). Deterministic: resources are
+    considered in sorted key order. All-zero vectors get a very large
+    finite rate (effectively instant). *)
+
 val run : ?clock:Clock.t -> stream list -> report
 (** Simulate all streams to completion. Stage summaries are aggregated by
     label (parallel streams running "dumping files" on four tapes produce a

@@ -33,6 +33,7 @@ let entry ?(strategy = Strategy.Logical) ?(level = 0) ?(snapshot = "")
     drive = 0;
     stream = 0;
     streams = [ 0 ];
+    part_drives = [ 0 ];
     media = [];
     snapshot;
     base_snapshot;
@@ -139,6 +140,63 @@ let test_engine_physical_cycle () =
   checki "chain applied" 2 (List.length results);
   let nfs = Fs.mount nvol in
   match Compare.trees ~src:(fs, "/data") ~dst:(nfs, "/data") () with
+  | Ok () -> ()
+  | Error d -> Alcotest.failf "mismatch: %s" (String.concat ";" d)
+
+(* Plain multi-part jobs, no faults, no resume: the stream addressing the
+   scheduler refactor must preserve. Each part is its own tape stream; the
+   restored tree must equal the source for both strategies. *)
+let test_engine_multipart_plain () =
+  (* logical, three parts on the default single drive *)
+  let eng, fs = make_engine () in
+  let e = Engine.backup eng ~strategy:Strategy.Logical ~subtree:"/data" ~parts:3 () in
+  checki "three streams" 3 (List.length e.Catalog.streams);
+  Alcotest.(check (list int)) "streams in part order" [ 0; 1; 2 ] e.Catalog.streams;
+  Alcotest.(check (list int))
+    "all parts on the default drive" [ 0; 0; 0 ] e.Catalog.part_drives;
+  let dvol = Volume.create ~label:"dst" (Volume.small_geometry ~data_blocks:16384) in
+  let dfs = Fs.mkfs dvol in
+  ignore (Engine.restore_logical eng ~label:"/data" ~fs:dfs ~target:"/restored" ());
+  (match Compare.trees ~src:(fs, "/data") ~dst:(dfs, "/restored") () with
+  | Ok () -> ()
+  | Error d -> Alcotest.failf "logical mismatch: %s" (String.concat ";" d));
+  (* physical, two parts *)
+  let eng2, fs2 = make_engine () in
+  let e2 = Engine.backup eng2 ~strategy:Strategy.Physical ~label:"vol" ~parts:2 () in
+  checki "two streams" 2 (List.length e2.Catalog.streams);
+  let nvol = Volume.create ~label:"new" (Volume.small_geometry ~data_blocks:16384) in
+  ignore (Engine.restore_physical eng2 ~label:"vol" ~volume:nvol ());
+  let nfs = Fs.mount nvol in
+  match Compare.trees ~src:(fs2, "/data") ~dst:(nfs, "/data") () with
+  | Ok () -> ()
+  | Error d -> Alcotest.failf "physical mismatch: %s" (String.concat ";" d)
+
+(* A two-drive pool: parts land on both stackers, the catalog records each
+   part's drive, and a concurrent restore reassembles the tree. *)
+let test_engine_concurrent_drives () =
+  let eng, fs = make_engine () in
+  let e =
+    Engine.backup eng ~strategy:Strategy.Logical ~subtree:"/data" ~parts:4
+      ~drives:[ 0; 1 ] ()
+  in
+  checki "four parts" 4 (List.length e.Catalog.streams);
+  checki "drive list parallel to streams" 4 (List.length e.Catalog.part_drives);
+  Alcotest.(check (list int))
+    "both drives used"
+    [ 0; 1 ]
+    (List.sort_uniq compare e.Catalog.part_drives);
+  (match Engine.last_stats eng with
+  | None -> Alcotest.fail "no schedule stats"
+  | Some st ->
+    checkb "positive makespan" true (st.Repro_backup.Scheduler.elapsed > 0.0);
+    checki "stats cover the pool" 2
+      (List.length st.Repro_backup.Scheduler.per_drive));
+  let dvol = Volume.create ~label:"dst" (Volume.small_geometry ~data_blocks:16384) in
+  let dfs = Fs.mkfs dvol in
+  ignore
+    (Engine.restore_logical eng ~label:"/data" ~fs:dfs ~target:"/restored"
+       ~concurrency:2 ());
+  match Compare.trees ~src:(fs, "/data") ~dst:(dfs, "/restored") () with
   | Ok () -> ()
   | Error d -> Alcotest.failf "mismatch: %s" (String.concat ";" d)
 
@@ -300,6 +358,8 @@ let () =
         [
           Alcotest.test_case "logical backup cycle" `Quick test_engine_logical_cycle;
           Alcotest.test_case "physical backup cycle" `Quick test_engine_physical_cycle;
+          Alcotest.test_case "plain multi-part cycle" `Quick test_engine_multipart_plain;
+          Alcotest.test_case "concurrent drive pool" `Quick test_engine_concurrent_drives;
           Alcotest.test_case "selective restore" `Quick test_engine_selective_restore;
           Alcotest.test_case "incremental needs full" `Quick
             test_engine_incremental_without_full;

@@ -469,6 +469,75 @@ let test_acceptance_drill () =
       Format.pp_print_flush ppf ();
       checkb "report mentions repairs" true (contains (Buffer.contents buf) "repairs"))
 
+(* One drive of a two-drive pool dies mid-concurrent-backup: the other
+   parts drain on the survivor, the checkpoint records exactly the dead
+   drive's in-flight part as unfinished (with each done part's drive), and
+   resume completes the job with a byte-verified restore. *)
+let test_concurrent_drive_death_and_resume () =
+  (* probe: how many records part 1 (the first stream on L1) occupies *)
+  let peng, _, plibs = make_engine () in
+  ignore
+    (Engine.backup peng ~strategy:Strategy.Logical ~subtree:"/data" ~parts:4
+       ~drives:[ 0; 1 ] ());
+  let r1 = stream_records (List.nth plibs 1) ~stream:0 in
+  checkb "part 1 spans several records" true (r1 >= 2);
+
+  let eng, fs, _ = make_engine () in
+  (* L1 dies on its second record operation: mid part 1's stream *)
+  let plane = Fault.plan [ Fault.Tape_drive_death { device = "L1"; after_records = 1 } ] in
+  Fault.with_armed plane (fun () ->
+      (match
+         Engine.backup eng ~strategy:Strategy.Logical ~subtree:"/data" ~parts:4
+           ~drives:[ 0; 1 ] ()
+       with
+      | _ -> Alcotest.fail "expected Drive_dead"
+      | exception Fault.Drive_dead d -> Alcotest.(check string) "dead drive" "L1" d);
+      (match
+         Catalog.find_checkpoint (Engine.catalog eng) ~strategy:Strategy.Logical
+           ~label:"/data"
+       with
+      | None -> Alcotest.fail "no checkpoint after the drive death"
+      | Some ck ->
+        Alcotest.(check (list int)) "pool recorded" [ 0; 1 ] ck.Catalog.ck_drives;
+        checki "the other three parts completed" 3 (List.length ck.Catalog.ck_done);
+        let missing =
+          List.filter
+            (fun p ->
+              not
+                (List.exists
+                   (fun (d : Catalog.part_done) -> d.Catalog.part = p)
+                   ck.Catalog.ck_done))
+            (List.init 4 Fun.id)
+        in
+        Alcotest.(check (list int))
+          "exactly the dead drive's part unfinished" [ 1 ] missing;
+        checkb "completed parts landed on the survivor" true
+          (List.for_all (fun (d : Catalog.part_done) -> d.Catalog.drive = 0)
+             ck.Catalog.ck_done));
+      (* operator swaps the drive; resume re-dumps only part 1 (on the
+         first free drive of the checkpointed pool) *)
+      Fault.revive plane ~device:"L1";
+      let e =
+        Engine.backup eng ~strategy:Strategy.Logical ~subtree:"/data" ~resume:true ()
+      in
+      checki "entry covers all four parts" 4 (List.length e.Catalog.streams);
+      Alcotest.(check (list int))
+        "part 1 re-dumped as the survivor's fourth stream"
+        [ 0; 3; 1; 2 ] e.Catalog.streams;
+      Alcotest.(check (list int))
+        "per-part drives recorded" [ 0; 0; 0; 0 ] e.Catalog.part_drives;
+      checkb "checkpoint cleared" true
+        (Catalog.find_checkpoint (Engine.catalog eng) ~strategy:Strategy.Logical
+           ~label:"/data"
+        = None);
+      (* a concurrent restore reassembles the tree byte-identically *)
+      let dvol = Volume.create ~label:"dc" (Volume.small_geometry ~data_blocks:16384) in
+      let dfs = Fs.mkfs dvol in
+      ignore
+        (Engine.restore_logical eng ~label:"/data" ~fs:dfs ~target:"/r"
+           ~concurrency:2 ());
+      assert_trees (fs, "/data") (dfs, "/r"))
+
 let test_checkpoint_survives_reload () =
   let peng, _, plibs = make_engine () in
   ignore (Engine.backup peng ~strategy:Strategy.Logical ~subtree:"/data" ~parts:2 ());
@@ -638,6 +707,9 @@ let () =
           ("degraded logical vs fail-fast image", `Quick, test_degraded_logical_vs_failfast_image);
           ("multi-part backup and restore", `Quick, test_multipart_streams_and_restore);
           ("acceptance drill: death, resume, repair", `Quick, test_acceptance_drill);
+          ( "concurrent pool: drive death and resume",
+            `Quick,
+            test_concurrent_drive_death_and_resume );
           ("checkpoint survives reload", `Quick, test_checkpoint_survives_reload);
         ] );
       ( "state",
