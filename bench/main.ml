@@ -657,8 +657,106 @@ let run_scaling () =
   say "  [BENCH_scaling.json written]@.";
   ok
 
+(* ------------------------------------------------------------------ *)
+(* Part 7: network data plane                                          *)
+
+(* Two claims from docs/NETWORK.md, both on simulated time so the
+   numbers are deterministic for the seed:
+
+   (a) shipping a backup to a remote tape server over a fat link costs
+       under 5% elapsed over the same backup on a local stacker — the
+       mover pipelines the stream, so a link that is not the bottleneck
+       should be invisible;
+
+   (b) when the link IS the bottleneck, a session's achieved goodput
+       lands within 5% of the closed-form bandwidth-delay model
+       (Link.model_goodput), whether bandwidth-bound or window-bound.
+
+   Writes BENCH_net.json and returns whether both gates held. *)
+let run_net () =
+  say "============================================================";
+  say " Part 7: network data plane (remote tape server)";
+  say "============================================================@.";
+  let module Link = Repro_net.Link in
+  let module Session = Repro_net.Session in
+  (* (a) engine-level: local vs remote-over-fat-link elapsed *)
+  let fat =
+    Link.params ~bandwidth_bytes_s:1e9 ~latency_s:1e-5
+      ~window_bytes:(16 * 1024 * 1024) ()
+  in
+  let elapsed strategy ~remote =
+    let vol =
+      Volume.create ~label:"netsrc" (Volume.small_geometry ~data_blocks:2048)
+    in
+    let fs = Fs.mkfs vol in
+    let profile = { Generator.default with Generator.seed = 7 } in
+    ignore (Generator.populate ~profile ~fs ~root:"/data" ~total_bytes:4_000_000 ());
+    let local = [ Library.create ~slots:16 ~label:"local0" () ] in
+    let eng = Engine.create ~fs ~libraries:local () in
+    let drives =
+      if remote then
+        Engine.attach_remote eng ~host:"vault" ~link_params:fat
+          ~libraries:[ Library.create ~slots:16 ~label:"vault0" () ]
+          ()
+      else [ 0 ]
+    in
+    ignore
+      (Engine.backup_job eng
+         (Engine.Job.make ~strategy ~subtree:"/data" ~parts:2 ~drives ()));
+    match Engine.last_stats eng with Some st -> st.Scheduler.elapsed | None -> 0.0
+  in
+  let gate_a name strategy =
+    let local = elapsed strategy ~remote:false in
+    let remote = elapsed strategy ~remote:true in
+    let overhead = (remote -. local) /. local *. 100.0 in
+    say "  %-8s  local %7.2f s   remote (fat link) %7.2f s   overhead %5.2f %%  (budget: < 5%%)"
+      name local remote overhead;
+    (local, remote, overhead, overhead < 5.0)
+  in
+  let log_l, log_r, log_ovh, log_ok = gate_a "logical" Strategy.Logical in
+  let phy_l, phy_r, phy_ovh, phy_ok = gate_a "physical" Strategy.Physical in
+  (* (b) session-level: achieved goodput vs the bandwidth-delay model *)
+  let goodput name params =
+    let link = Link.create ~params ~label:"bench" () in
+    let session = Session.connect ~host:"bench" link in
+    let stream = Session.open_stream session ~deliver:(fun _ -> ()) in
+    let chunk = String.make 65536 'x' in
+    for _ = 1 to 64 do
+      Session.write stream chunk
+    done;
+    let x = Session.close_stream stream in
+    let model = Link.model_goodput (Link.params_of link) in
+    let err =
+      Float.abs (x.Session.xf_goodput_bytes_s -. model) /. model *. 100.0
+    in
+    say "  %-14s goodput %8.2f MiB/s   model %8.2f MiB/s   error %5.2f %%  (budget: < 5%%)"
+      name
+      (x.Session.xf_goodput_bytes_s /. 1048576.)
+      (model /. 1048576.) err;
+    (x.Session.xf_goodput_bytes_s, model, err, err < 5.0)
+  in
+  let bw_g, bw_m, bw_err, bw_ok =
+    goodput "link-bound"
+      (Link.params ~bandwidth_bytes_s:(12.5 *. 1048576.) ~latency_s:0.001 ())
+  in
+  let win_g, win_m, win_err, win_ok =
+    goodput "window-bound"
+      (Link.params ~bandwidth_bytes_s:(125. *. 1048576.) ~latency_s:0.02
+         ~window_bytes:(512 * 1024) ())
+  in
+  let ok = log_ok && phy_ok && bw_ok && win_ok in
+  say "  verdict:                     %s@." (if ok then "PASS" else "FAIL");
+  write_file "BENCH_net.json"
+    (Printf.sprintf
+       {|{"bench":"net","logical":{"local_s":%.6g,"remote_s":%.6g,"overhead_pct":%.6g},"physical":{"local_s":%.6g,"remote_s":%.6g,"overhead_pct":%.6g},"link_bound":{"goodput_bytes_s":%.6g,"model_bytes_s":%.6g,"error_pct":%.6g},"window_bound":{"goodput_bytes_s":%.6g,"model_bytes_s":%.6g,"error_pct":%.6g},"budget_pct":5,"pass":%b}
+|}
+       log_l log_r log_ovh phy_l phy_r phy_ovh bw_g bw_m bw_err win_g win_m
+       win_err ok);
+  say "  [BENCH_net.json written]@.";
+  ok
+
 let usage () =
-  say "usage: main [all|tables|ablations|micro|faults|obs|scaling]";
+  say "usage: main [all|tables|ablations|micro|faults|obs|scaling|net]";
   exit 2
 
 let () =
@@ -671,12 +769,14 @@ let () =
     run_faults ();
     let obs_ok = run_obs () in
     let scaling_ok = run_scaling () in
+    let net_ok = run_net () in
     say "bench: all parts complete.";
-    if not (obs_ok && scaling_ok) then exit 1
+    if not (obs_ok && scaling_ok && net_ok) then exit 1
   | "tables" -> run_tables ()
   | "ablations" -> run_ablations ()
   | "micro" -> run_microbenchmarks ()
   | "faults" -> run_faults ()
   | "obs" -> if not (run_obs ()) then exit 1
   | "scaling" -> if not (run_scaling ()) then exit 1
+  | "net" -> if not (run_net ()) then exit 1
   | _ -> usage ()

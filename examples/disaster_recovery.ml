@@ -34,13 +34,19 @@ let () =
       ()
   in
   (* Weekend full + weekday incremental under both strategies. *)
-  ignore (Engine.backup engine ~strategy:Strategy.Logical ~subtree:"/home" ~drive:0 ());
-  ignore (Engine.backup engine ~strategy:Strategy.Physical ~label:"home" ~drive:1 ());
+  ignore (Engine.backup_job engine
+     (Engine.Job.make ~strategy:Strategy.Logical ~subtree:"/home" ~drives:[ 0 ] ()));
+  ignore (Engine.backup_job engine
+     (Engine.Job.make ~strategy:Strategy.Physical ~label:"home" ~drives:[ 1 ] ()));
   ignore (Fs.create fs "/home/monday-report.txt" ~perms:0o644);
   Fs.write fs "/home/monday-report.txt" ~offset:0 (String.make 50_000 'r');
   ignore
-    (Engine.backup engine ~strategy:Strategy.Logical ~level:1 ~subtree:"/home" ~drive:0 ());
-  ignore (Engine.backup engine ~strategy:Strategy.Physical ~level:1 ~label:"home" ~drive:1 ());
+    (Engine.backup_job engine
+       (Engine.Job.make ~strategy:Strategy.Logical ~level:1 ~subtree:"/home"
+          ~drives:[ 0 ] ()));
+  ignore (Engine.backup_job engine
+     (Engine.Job.make ~strategy:Strategy.Physical ~level:1 ~label:"home"
+        ~drives:[ 1 ] ()));
   say "backed up: full + incremental on both strategies";
 
   (* Catastrophe: two drives die in raid group 0. RAID-4 survives one

@@ -75,18 +75,23 @@ let () =
   let rec nightly () =
     let d = int_of_float (Sim.now sim /. day) mod 7 in
     if d = 0 then begin
-      let e = Engine.backup engine ~strategy:Strategy.Physical ~label:"home" ~drive:1 () in
+      let e = Engine.backup_job engine
+          (Engine.Job.make ~strategy:Strategy.Physical ~label:"home" ~drives:[ 1 ] ()) in
       log "physical FULL: %d bytes (snapshot %s)" e.Catalog.bytes e.Catalog.snapshot
     end
     else begin
       let e =
-        Engine.backup engine ~strategy:Strategy.Physical ~level:1 ~label:"home" ~drive:1 ()
+        Engine.backup_job engine
+          (Engine.Job.make ~strategy:Strategy.Physical ~level:1 ~label:"home"
+             ~drives:[ 1 ] ())
       in
       log "physical incremental: %d bytes (plane difference)" e.Catalog.bytes
     end;
     let level = if d = 0 then 0 else d in
     let e =
-      Engine.backup engine ~strategy:Strategy.Logical ~level ~subtree:"/data" ~drive:0 ()
+      Engine.backup_job engine
+        (Engine.Job.make ~strategy:Strategy.Logical ~level ~subtree:"/data"
+           ~drives:[ 0 ] ())
     in
     log "logical level-%d dump: %d bytes" level e.Catalog.bytes;
     if Sim.now sim < 6.0 *. day then Sim.schedule_in sim day nightly

@@ -8,7 +8,7 @@
    disk bandwidth.
 
    Part two runs the same sweep through the engine's own drive-pool
-   scheduler (docs/SCALING.md): Engine.backup ~drives schedules the
+   scheduler (docs/SCALING.md): Engine.backup_job with a ~drives pool schedules the
    parts concurrently over the stackers, and Engine.last_stats reports
    the makespan and how busy each drive was.
 
@@ -62,7 +62,7 @@ let () =
   Format.printf " workhorse technology\" — paper, section 7.@.@.";
 
   (* Part two: the same claim from the engine's drive-pool scheduler. *)
-  Format.printf "now through Engine.backup ~drives (4-part jobs, near-full volume):@.@.";
+  Format.printf "now through Engine.backup_job with a drive pool (4-part jobs, near-full volume):@.@.";
   let engine_elapsed strategy k =
     let vol = Volume.create ~label:"sweep" (Volume.small_geometry ~data_blocks:2048) in
     let fs = Fs.mkfs vol in
@@ -74,9 +74,9 @@ let () =
     let drives = List.init k Fun.id in
     (match strategy with
     | Strategy.Logical ->
-      ignore (Engine.backup eng ~strategy ~subtree:"/data" ~parts:4 ~drives ())
+      ignore (Engine.backup_job eng (Engine.Job.make ~strategy ~subtree:"/data" ~parts:4 ~drives ()))
     | Strategy.Physical ->
-      ignore (Engine.backup eng ~strategy ~label:"vol" ~parts:4 ~drives ()));
+      ignore (Engine.backup_job eng (Engine.Job.make ~strategy ~label:"vol" ~parts:4 ~drives ())));
     match Engine.last_stats eng with
     | Some st ->
       let util =

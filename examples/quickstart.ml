@@ -33,10 +33,12 @@ let () =
   in
 
   (* One call per strategy. *)
-  let logical = Engine.backup engine ~strategy:Strategy.Logical ~subtree:"/projects" () in
+  let logical = Engine.backup_job engine
+      (Engine.Job.make ~strategy:Strategy.Logical ~subtree:"/projects" ()) in
   say "logical dump: %d bytes on %s" logical.Catalog.bytes
     (String.concat "," logical.Catalog.media);
-  let physical = Engine.backup engine ~strategy:Strategy.Physical ~label:"home" () in
+  let physical = Engine.backup_job engine
+      (Engine.Job.make ~strategy:Strategy.Physical ~label:"home" ()) in
   say "physical image dump: %d bytes (snapshot %s retained as incremental base)"
     physical.Catalog.bytes physical.Catalog.snapshot;
 

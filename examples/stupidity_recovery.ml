@@ -40,8 +40,10 @@ let () =
         [ Library.create ~slots:16 ~label:"L0" (); Library.create ~slots:16 ~label:"L1" () ]
       ()
   in
-  ignore (Engine.backup engine ~strategy:Strategy.Logical ~subtree:"/users" ~drive:0 ());
-  ignore (Engine.backup engine ~strategy:Strategy.Physical ~label:"home" ~drive:1 ());
+  ignore (Engine.backup_job engine
+     (Engine.Job.make ~strategy:Strategy.Logical ~subtree:"/users" ~drives:[ 0 ] ()));
+  ignore (Engine.backup_job engine
+     (Engine.Job.make ~strategy:Strategy.Physical ~label:"home" ~drives:[ 1 ] ()));
 
   (* Friday, 16:58: rm with one glob too many. *)
   Fs.unlink fs "/users/alice/thesis.tex";

@@ -1,0 +1,42 @@
+let cmds : (string * string) list ref = ref []
+let opts : (string * string) list ref = ref [] (* (cmd, rendered flag) *)
+
+let render name = if String.length name = 1 then "-" ^ name else "--" ^ name
+
+let command name doc =
+  if List.mem_assoc name !cmds then
+    invalid_arg (Printf.sprintf "Usage.command: duplicate %S" name);
+  cmds := !cmds @ [ (name, doc) ];
+  name
+
+let flag ~cmds:owners names =
+  List.iter
+    (fun cmd ->
+      List.iter
+        (fun n ->
+          let r = render n in
+          if not (List.mem (cmd, r) !opts) then opts := !opts @ [ (cmd, r) ])
+        names)
+    owners;
+  names
+
+let commands () = !cmds
+let summary name = List.assoc name !cmds
+
+let flags_of name =
+  List.filter_map (fun (c, r) -> if String.equal c name then Some r else None) !opts
+
+let all_flags () =
+  List.fold_left
+    (fun acc (_, r) -> if List.mem r acc then acc else acc @ [ r ])
+    [] !opts
+
+let table () =
+  String.concat "\n"
+    (List.concat_map
+       (fun (name, doc) ->
+         let line = Printf.sprintf "  %-10s %s" name doc in
+         match flags_of name with
+         | [] -> [ line ]
+         | fs -> [ line; "             options: " ^ String.concat " " fs ])
+       !cmds)

@@ -9,6 +9,7 @@ type entry = {
   stream : int;
   streams : int list;
   part_drives : int list;
+  part_hosts : string list;
   media : string list;
   snapshot : string;
   base_snapshot : string;
@@ -137,6 +138,8 @@ let encode t =
       List.iter (fun s -> write_u16 w s) e.streams;
       write_u16 w (List.length e.part_drives);
       List.iter (fun d -> write_u16 w d) e.part_drives;
+      write_u16 w (List.length e.part_hosts);
+      List.iter (fun h -> write_string w h) e.part_hosts;
       write_u16 w (List.length e.media);
       List.iter (fun m -> write_string w m) e.media;
       write_string w e.snapshot;
@@ -172,8 +175,10 @@ let encode t =
     cks;
   contents w
 
-let decode s =
+let decode ?(version = 4) s =
   let open Repro_util.Serde in
+  if version < 2 || version > 4 then
+    invalid_arg (Printf.sprintf "Catalog.decode: unknown layout v%d" version);
   let r = reader s in
   let next_id = read_u32 r in
   let n = read_u32 r in
@@ -188,8 +193,23 @@ let decode s =
         let drive = read_u16 r in
         let nstreams = read_u16 r in
         let streams = List.init nstreams (fun _ -> read_u16 r) in
-        let ndrives = read_u16 r in
-        let part_drives = List.init ndrives (fun _ -> read_u16 r) in
+        let part_drives =
+          if version >= 3 then
+            let ndrives = read_u16 r in
+            List.init ndrives (fun _ -> read_u16 r)
+          else
+            (* v2 predates multi-drive part placement: every stream of an
+               entry lived on its single recorded drive. *)
+            List.map (fun _ -> drive) streams
+        in
+        let part_hosts =
+          if version >= 4 then
+            let nhosts = read_u16 r in
+            List.init nhosts (fun _ -> read_string r)
+          else
+            (* Pre-network catalogs only knew locally attached drives. *)
+            List.map (fun _ -> "") streams
+        in
         let nmedia = read_u16 r in
         let media = List.init nmedia (fun _ -> read_string r) in
         let snapshot = read_string r in
@@ -207,6 +227,7 @@ let decode s =
           stream;
           streams;
           part_drives;
+          part_hosts;
           media;
           snapshot;
           base_snapshot;
@@ -222,8 +243,12 @@ let decode s =
         let ck_date = Int64.float_of_bits (read_u64 r) in
         let ck_subtree = read_string r in
         let ck_drive = read_u16 r in
-        let nds = read_u16 r in
-        let ck_drives = List.init nds (fun _ -> read_u16 r) in
+        let ck_drives =
+          if version >= 3 then
+            let nds = read_u16 r in
+            List.init nds (fun _ -> read_u16 r)
+          else []
+        in
         let ck_parts = read_u16 r in
         let ck_snapshot = read_string r in
         let ck_base_snapshot = read_string r in
@@ -234,7 +259,7 @@ let decode s =
           List.init ndone (fun _ ->
               let part = read_u16 r in
               let stream = read_u16 r in
-              let drive = read_u16 r in
+              let drive = if version >= 3 then read_u16 r else ck_drive in
               let bytes = read_int r in
               let degraded = read_u32 r in
               { part; stream; drive; bytes; degraded })

@@ -29,6 +29,9 @@ type entry = {
   part_drives : int list;
       (** stacker each part's stream lives on, in part order, parallel to
           [streams]; a single-drive backup repeats [drive] *)
+  part_hosts : string list;
+      (** tape-server host each part's stream was shipped to, parallel to
+          [streams]; [""] marks a locally attached drive *)
   media : string list;  (** cartridges the streams touch *)
   snapshot : string;  (** snapshot the backup captured ("" for logical) *)
   base_snapshot : string;  (** incremental base ("" if none) *)
@@ -92,4 +95,12 @@ val restore_chain : t -> label:string -> strategy:Strategy.t -> entry list
     base-snapshot chain. Empty if no full backup exists. *)
 
 val encode : t -> string
-val decode : string -> t
+(** The current (v4) layout; see docs/FORMATS.md. *)
+
+val decode : ?version:int -> string -> t
+(** [decode ~version s] reads the layout embedded in a given store
+    generation: 2 (RENG2 stores — no per-part drives), 3 (RENG3 — per-part
+    drives, no hosts), or 4 (current, the default). Older entries come back
+    with the missing fields defaulted: every part on the entry's recorded
+    drive, every drive local. Raises [Invalid_argument] on an unknown
+    version and {!Repro_util.Serde.Corrupt} on malformed bytes. *)

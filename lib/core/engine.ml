@@ -15,6 +15,8 @@ module Image_dump = Repro_image.Image_dump
 module Image_restore = Repro_image.Image_restore
 module Retry = Repro_fault.Retry
 module Obs = Repro_obs.Obs
+module Link = Repro_net.Link
+module Session = Repro_net.Session
 
 type io_model = {
   logical_read_bytes_s : float;
@@ -38,9 +40,16 @@ let default_io_model =
     restore_create_latency_s = 0.0025;
   }
 
+(* One drive slot in the pool: a stacker plus where it lives. A local
+   attachment ([att_host = ""]) is cabled to the backup host; a remote one
+   sits on a tape server reached over that host's link. *)
+type attachment = { att_lib : Library.t; att_host : string }
+
 type t = {
   e_fs : Fs.t;
-  libs : Library.t array;
+  mutable atts : attachment array;
+  mutable links : (string * Link.t) list; (* host -> link, attach order *)
+  mutable sessions : (string * Session.t) list; (* connected lazily *)
   dd : Dumpdates.t;
   cat : Catalog.t;
   cpu : Resource.t option;
@@ -48,7 +57,7 @@ type t = {
   clock : Clock.t option;
   retry : Retry.policy;
   model : io_model;
-  streams : int array; (* streams written per drive *)
+  mutable streams : int array; (* streams written per drive *)
   mutable snap_seq : int;
   mutable stats : Scheduler.stats option;
 }
@@ -58,7 +67,11 @@ let create ?cpu ?(costs = Cost.f630) ?clock ?(retry = Retry.default)
   if libraries = [] then invalid_arg "Engine.create: no tape libraries";
   {
     e_fs = fs;
-    libs = Array.of_list libraries;
+    atts =
+      Array.of_list
+        (List.map (fun l -> { att_lib = l; att_host = "" }) libraries);
+    links = [];
+    sessions = [];
     dd = Dumpdates.create ();
     cat = Catalog.create ();
     cpu;
@@ -75,6 +88,58 @@ let fs t = t.e_fs
 let catalog t = t.cat
 let dumpdates t = t.dd
 let last_stats t = t.stats
+let drive_count t = Array.length t.atts
+let lib_of t drive = t.atts.(drive).att_lib
+let drive_host t drive = t.atts.(drive).att_host
+let hosts t = List.map fst t.links
+let link_to t ~host = List.assoc_opt host t.links
+
+let remote_drives t ~host =
+  List.filter
+    (fun d -> String.equal t.atts.(d).att_host host)
+    (List.init (Array.length t.atts) Fun.id)
+
+let attach_remote t ~host ?link_params ~libraries () =
+  if host = "" then invalid_arg "Engine.attach_remote: empty host";
+  if libraries = [] then invalid_arg "Engine.attach_remote: no tape libraries";
+  (match (List.assoc_opt host t.links, link_params) with
+  | Some _, Some _ ->
+    invalid_arg
+      (Printf.sprintf "Engine.attach_remote: link to %S already configured"
+         host)
+  | Some _, None -> ()
+  | None, p -> t.links <- t.links @ [ (host, Link.create ?params:p ~label:host ()) ]);
+  let base = Array.length t.atts in
+  let added =
+    Array.of_list (List.map (fun l -> { att_lib = l; att_host = host }) libraries)
+  in
+  t.atts <- Array.append t.atts added;
+  t.streams <- Array.append t.streams (Array.make (Array.length added) 0);
+  List.init (Array.length added) (fun i -> base + i)
+
+(* The control connection to a tape server, dialed on first use and kept
+   for the engine's lifetime (data streams come and go per part). *)
+let session_for t host =
+  match List.assoc_opt host t.sessions with
+  | Some s -> s
+  | None ->
+    let s = Session.connect ~host (List.assoc host t.links) in
+    t.sessions <- t.sessions @ [ (host, s) ];
+    s
+
+(* The wall time a part's shipment spent on the wire, as a demand on a
+   key unique to this part: window/latency stalls are real elapsed time
+   even when the link's measured busy-seconds are low. *)
+let net_demand ~host ~part shipment =
+  match Option.bind shipment Mover.xfer with
+  | None -> []
+  | Some x ->
+    [
+      {
+        Scheduler.key = Printf.sprintf "net:%s#%d" host part;
+        work = x.Session.xf_elapsed_s;
+      };
+    ]
 
 let note_stats t s =
   let merged =
@@ -123,7 +188,10 @@ let with_measured resources f =
 
 let part_resources t ~drive =
   (match t.cpu with Some c -> [ c ] | None -> [])
-  @ [ Tape.resource (Library.drive t.libs.(drive)) ]
+  @ [ Tape.resource (Library.drive (lib_of t drive)) ]
+  @ (match link_to t ~host:(drive_host t drive) with
+    | Some link -> [ Link.resource link ]
+    | None -> [])
 
 let snapshot_exists t name =
   List.exists
@@ -148,7 +216,7 @@ let last_physical_snapshot t ~label =
    occupies a stream index of its own and every later stream keeps clean
    filemark addressing. *)
 let seal_dangling t ~drive =
-  let lib = t.libs.(drive) in
+  let lib = lib_of t drive in
   Library.ensure_appendable lib;
   let d = Library.drive lib in
   (match Tape.loaded d with Some _ -> Tape.seek_end d | None -> ());
@@ -238,7 +306,7 @@ let do_backup t ~strategy ~level ~subtree ?exclude ~drive ~drives:requested
   in
   List.iter
     (fun d ->
-      if d < 0 || d >= Array.length t.libs then
+      if d < 0 || d >= drive_count t then
         invalid_arg (Printf.sprintf "Engine.backup: no drive %d" d))
     drives;
   Obs.annotate
@@ -253,7 +321,7 @@ let do_backup t ~strategy ~level ~subtree ?exclude ~drive ~drives:requested
   List.iter (fun d -> seal_dangling t ~drive:d) drives;
   let media_before =
     List.map
-      (fun d -> (d, List.map Tape.media_label (Library.used_media t.libs.(d))))
+      (fun d -> (d, List.map Tape.media_label (Library.used_media (lib_of t d))))
       drives
   in
   let done_parts = ref ck.Catalog.ck_done in
@@ -263,7 +331,7 @@ let do_backup t ~strategy ~level ~subtree ?exclude ~drive ~drives:requested
       (fun (d, before) ->
         List.iter
           (fun m -> if not (List.mem m !media_acc) then media_acc := !media_acc @ [ m ])
-          (media_of t.libs.(d) before))
+          (media_of (lib_of t d) before))
       media_before
   in
   let save_checkpoint () =
@@ -280,45 +348,59 @@ let do_backup t ~strategy ~level ~subtree ?exclude ~drive ~drives:requested
       pin = None;
       execute =
         (fun ~drive ->
+          let host = drive_host t drive in
           Obs.with_span "part"
             ~attrs:
               [
                 ("part", Obs.Int (p + 1));
                 ("parts", Obs.Int parts);
                 ("drive", Obs.Int drive);
+                ("host", Obs.Str host);
               ]
           @@ fun () ->
-          let lib = t.libs.(drive) in
-          let (bytes, degraded), measured =
+          let lib = lib_of t drive in
+          let ((bytes, degraded), shipment), measured =
             with_measured (part_resources t ~drive) (fun () ->
                 Retry.run ~policy:t.retry
                   ~charge:(charge_backoff t)
                   ~cleanup:(fun _ -> seal_dangling t ~drive)
                   ~label:(Printf.sprintf "%s part %d/%d" label (p + 1) parts)
                   (fun () ->
-                    let sink = Tapeio.sink lib in
-                    match strategy with
-                    | Strategy.Logical ->
-                      let view = Fs.snapshot_view t.e_fs ck.Catalog.ck_snapshot in
-                      let r =
-                        Dump.run ~level ~dumpdates:t.dd ~record:false ?exclude
-                          ?cpu:t.cpu ~costs:t.costs ~part:(p, parts) ~view
-                          ~subtree ~label ~date ~sink ()
-                      in
-                      (r.Dump.bytes_written, r.Dump.files_skipped)
-                    | Strategy.Physical ->
-                      let r =
-                        if ck.Catalog.ck_base_snapshot = "" then
-                          Image_dump.full ?cpu:t.cpu ~costs:t.costs
-                            ~part:(p, parts) ~fs:t.e_fs
-                            ~snapshot:ck.Catalog.ck_snapshot ~sink ()
-                        else
-                          Image_dump.incremental ?cpu:t.cpu ~costs:t.costs
-                            ~part:(p, parts) ~fs:t.e_fs
-                            ~base:ck.Catalog.ck_base_snapshot
-                            ~snapshot:ck.Catalog.ck_snapshot ~sink ()
-                      in
-                      (r.Image_dump.bytes_written, 0)))
+                    let shipment, sink =
+                      if host = "" then (None, Tapeio.sink lib)
+                      else
+                        let sh, sink =
+                          Mover.remote_sink ~session:(session_for t host) lib
+                        in
+                        (Some sh, sink)
+                    in
+                    let counts =
+                      match strategy with
+                      | Strategy.Logical ->
+                        let view =
+                          Fs.snapshot_view t.e_fs ck.Catalog.ck_snapshot
+                        in
+                        let r =
+                          Dump.run ~level ~dumpdates:t.dd ~record:false ?exclude
+                            ?cpu:t.cpu ~costs:t.costs ~part:(p, parts) ~view
+                            ~subtree ~label ~date ~sink ()
+                        in
+                        (r.Dump.bytes_written, r.Dump.files_skipped)
+                      | Strategy.Physical ->
+                        let r =
+                          if ck.Catalog.ck_base_snapshot = "" then
+                            Image_dump.full ?cpu:t.cpu ~costs:t.costs
+                              ~part:(p, parts) ~fs:t.e_fs
+                              ~snapshot:ck.Catalog.ck_snapshot ~sink ()
+                          else
+                            Image_dump.incremental ?cpu:t.cpu ~costs:t.costs
+                              ~part:(p, parts) ~fs:t.e_fs
+                              ~base:ck.Catalog.ck_base_snapshot
+                              ~snapshot:ck.Catalog.ck_snapshot ~sink ()
+                        in
+                        (r.Image_dump.bytes_written, 0)
+                    in
+                    (counts, shipment)))
           in
           let stream = t.streams.(drive) in
           t.streams.(drive) <- stream + 1;
@@ -334,7 +416,8 @@ let do_backup t ~strategy ~level ~subtree ?exclude ~drive ~drives:requested
           let modeled =
             { Scheduler.key = Resource.name disk; work = Float.of_int bytes /. rate }
           in
-          ({ Catalog.part = p; stream; drive; bytes; degraded }, modeled :: measured));
+          ( { Catalog.part = p; stream; drive; bytes; degraded },
+            net_demand ~host ~part:p shipment @ (modeled :: measured) ));
     }
   in
   let pending = List.filter (fun p -> not (is_done p)) (List.init parts Fun.id) in
@@ -355,7 +438,10 @@ let do_backup t ~strategy ~level ~subtree ?exclude ~drive ~drives:requested
   in
   let outcomes, stats =
     Scheduler.run
-      ~fatal:(function Repro_fault.Fault.Drive_dead _ -> true | _ -> false)
+      ~fatal:(function
+        | Repro_fault.Fault.Drive_dead _ | Repro_fault.Fault.Partitioned _ ->
+          true
+        | _ -> false)
       ~on_complete ~drives
       (List.map part_job pending)
   in
@@ -386,6 +472,9 @@ let do_backup t ~strategy ~level ~subtree ?exclude ~drive ~drives:requested
   let streams = List.map (fun (d : Catalog.part_done) -> d.Catalog.stream) done_list in
   let part_drives =
     List.map (fun (d : Catalog.part_done) -> d.Catalog.drive) done_list
+  in
+  let part_hosts =
+    List.map (fun (d : Catalog.part_done) -> drive_host t d.Catalog.drive) done_list
   in
   let bytes = List.fold_left (fun a (d : Catalog.part_done) -> a + d.Catalog.bytes) 0 done_list in
   let degraded =
@@ -420,6 +509,7 @@ let do_backup t ~strategy ~level ~subtree ?exclude ~drive ~drives:requested
       stream = (match streams with s :: _ -> s | [] -> 0);
       streams;
       part_drives;
+      part_hosts;
       media = !media_acc;
       snapshot =
         (match strategy with
@@ -429,9 +519,26 @@ let do_backup t ~strategy ~level ~subtree ?exclude ~drive ~drives:requested
       degraded;
     }
 
-let backup t ~strategy ?(level = 0) ?(subtree = "/") ?exclude ?(drive = 0)
-    ?drives ?label ?(parts = 1) ?(resume = false) () =
-  let label = match label with Some l -> l | None -> subtree in
+module Job = struct
+  type t = {
+    strategy : Strategy.t;
+    level : int;
+    subtree : string;
+    exclude : Filter.t option;
+    label : string option;
+    parts : int;
+    drives : int list option;
+    resume : bool;
+  }
+
+  let make ~strategy ?(level = 0) ?(subtree = "/") ?exclude ?label ?(parts = 1)
+      ?drives ?(resume = false) () =
+    { strategy; level; subtree; exclude; label; parts; drives; resume }
+
+  let label job = match job.label with Some l -> l | None -> job.subtree
+end
+
+let with_backup_span t ~strategy ~label ~resume k =
   t.stats <- None;
   Obs.with_span "engine.backup"
     ~attrs:
@@ -441,13 +548,26 @@ let backup t ~strategy ?(level = 0) ?(subtree = "/") ?exclude ?(drive = 0)
         ("resume", Obs.Bool resume);
       ]
     (fun () ->
-      let entry =
-        do_backup t ~strategy ~level ~subtree ?exclude ~drive ~drives ~label
-          ~parts ~resume ()
-      in
+      let entry = k () in
       Obs.set_gauge "fs.used_blocks" (Float.of_int (Fs.used_blocks t.e_fs));
       Obs.set_gauge "fs.free_blocks" (Float.of_int (Fs.free_blocks t.e_fs));
       entry)
+
+let backup_job t (job : Job.t) =
+  let label = Job.label job in
+  with_backup_span t ~strategy:job.Job.strategy ~label ~resume:job.Job.resume
+    (fun () ->
+      do_backup t ~strategy:job.Job.strategy ~level:job.Job.level
+        ~subtree:job.Job.subtree ?exclude:job.Job.exclude ~drive:0
+        ~drives:job.Job.drives ~label ~parts:job.Job.parts
+        ~resume:job.Job.resume ())
+
+let backup t ~strategy ?(level = 0) ?(subtree = "/") ?exclude ?(drive = 0)
+    ?drives ?label ?(parts = 1) ?(resume = false) () =
+  let label = match label with Some l -> l | None -> subtree in
+  with_backup_span t ~strategy ~label ~resume (fun () ->
+      do_backup t ~strategy ~level ~subtree ?exclude ~drive ~drives ~label
+        ~parts ~resume ())
 
 (* Each part's (stream, drive) address. Entries predating multi-drive
    pools (or hand-built in tests) may carry no per-part drives; they fall
@@ -460,14 +580,28 @@ let part_locations (e : Catalog.entry) =
   in
   List.combine e.Catalog.streams drives
 
-let source_on t ~drive stream = Tapeio.source ~skip_streams:stream t.libs.(drive)
+(* A part stream for reading. Local drives read in place; a remote
+   drive's stream is shipped back whole over the session first (the
+   three-way restore path), so the returned shipment already carries its
+   transfer report. *)
+let source_on t ~drive stream =
+  let lib = lib_of t drive in
+  match drive_host t drive with
+  | "" -> (None, Tapeio.source ~skip_streams:stream lib)
+  | host ->
+    let sh, src =
+      Mover.remote_source ~skip_streams:stream ~session:(session_for t host) lib
+    in
+    (Some sh, src)
 
 (* Run [f] over each of the entry's part streams in part order, merging
    with [merge]. Sources are created one at a time: each creation rewinds
    its stacker. *)
 let over_streams t (e : Catalog.entry) ~f ~merge ~zero =
   List.fold_left
-    (fun acc (stream, drive) -> merge acc (f (source_on t ~drive stream)))
+    (fun acc (stream, drive) ->
+      let _, src = source_on t ~drive stream in
+      merge acc (f src))
     zero (part_locations e)
 
 (* Replay one entry's part streams through the drive scheduler: each part
@@ -526,9 +660,10 @@ let apply_entry t session ?select ~disk ~concurrency (e : Catalog.entry) =
     Obs.with_span "restore part"
       ~attrs:[ ("stream", Obs.Int stream); ("drive", Obs.Int drive) ]
     @@ fun () ->
-    let r, measured =
+    let (r, shipment), measured =
       with_measured (part_resources t ~drive) (fun () ->
-          Restore.apply ?select session (source_on t ~drive stream))
+          let sh, src = source_on t ~drive stream in
+          (Restore.apply ?select session src, sh))
     in
     let modeled =
       {
@@ -539,7 +674,9 @@ let apply_entry t session ?select ~disk ~concurrency (e : Catalog.entry) =
              *. t.model.restore_create_latency_s;
       }
     in
-    (r, modeled :: measured)
+    ( r,
+      net_demand ~host:(drive_host t drive) ~part:stream shipment
+      @ (modeled :: measured) )
   in
   sum_apply (scheduled_parts t ~concurrency e ~execute)
 
@@ -575,10 +712,10 @@ let restore_physical t ~label ~volume ?(concurrency = 1) () =
           Obs.with_span "restore part"
             ~attrs:[ ("stream", Obs.Int stream); ("drive", Obs.Int drive) ]
           @@ fun () ->
-          let r, measured =
+          let (r, shipment), measured =
             with_measured (part_resources t ~drive) (fun () ->
-                Image_restore.apply ?cpu:t.cpu ~costs:t.costs ~volume
-                  (source_on t ~drive stream))
+                let sh, src = source_on t ~drive stream in
+                (Image_restore.apply ?cpu:t.cpu ~costs:t.costs ~volume src, sh))
           in
           let modeled =
             {
@@ -586,7 +723,9 @@ let restore_physical t ~label ~volume ?(concurrency = 1) () =
               work = Float.of_int r.Image_restore.bytes_read /. t.model.image_write_bytes_s;
             }
           in
-          (r, modeled :: measured)
+          ( r,
+            net_demand ~host:(drive_host t drive) ~part:stream shipment
+            @ (modeled :: measured) )
         in
         match scheduled_parts t ~concurrency e ~execute with
         | [] -> assert false
@@ -599,6 +738,28 @@ let restore_physical t ~label ~volume ?(concurrency = 1) () =
               List.fold_left (fun a r -> a + r.Image_restore.bytes_read) 0 rs;
           })
       chain
+
+let restore t ~strategy ~label ?fs ?target ?select ?volume ?(concurrency = 1) ()
+    =
+  match strategy with
+  | Strategy.Logical ->
+    let fs = match fs with Some f -> f | None -> t.e_fs in
+    let target =
+      match target with
+      | Some x -> x
+      | None -> invalid_arg "Engine.restore: a logical restore needs ~target"
+    in
+    `Logical (restore_logical t ~label ~fs ~target ?select ~concurrency ())
+  | Strategy.Physical ->
+    (match select with
+    | Some _ -> invalid_arg "Engine.restore: ~select applies to logical only"
+    | None -> ());
+    let volume =
+      match volume with
+      | Some v -> v
+      | None -> invalid_arg "Engine.restore: a physical restore needs ~volume"
+    in
+    `Physical (restore_physical t ~label ~volume ~concurrency ())
 
 let table_of_contents t (e : Catalog.entry) =
   (* Every part carries all directories; dedupe by inode across parts. *)
@@ -632,9 +793,15 @@ let verify_logical t ~label ~fs ~target =
 
 let save w t =
   let open Repro_util.Serde in
-  write_fixed w "RENG3";
-  write_u16 w (Array.length t.libs);
-  Array.iter (fun lib -> Library.save w lib) t.libs;
+  write_fixed w "RENG4";
+  write_u16 w (List.length t.links);
+  List.iter (fun (_, l) -> Link.save w l) t.links;
+  write_u16 w (Array.length t.atts);
+  Array.iter
+    (fun a ->
+      write_string w a.att_host;
+      Library.save w a.att_lib)
+    t.atts;
   Array.iter (fun s -> write_u32 w s) t.streams;
   write_string w (Dumpdates.encode t.dd);
   write_string w (Catalog.encode t.cat);
@@ -643,27 +810,59 @@ let save w t =
 let load ?cpu ?(costs = Cost.f630) ?clock ?(retry = Retry.default)
     ?(model = default_io_model) r ~fs =
   let open Repro_util.Serde in
-  expect_magic r "RENG3";
-  let nlibs = read_u16 r in
-  let libs = Array.init nlibs (fun _ -> Library.load r) in
-  let streams = Array.init nlibs (fun _ -> read_u32 r) in
-  let dd = Dumpdates.decode (read_string r) in
-  let cat = Catalog.decode (read_string r) in
-  let snap_seq = read_u32 r in
-  {
-    e_fs = fs;
-    libs;
-    dd;
-    cat;
-    cpu;
-    costs;
-    clock;
-    retry;
-    model;
-    streams;
-    snap_seq;
-    stats = None;
-  }
+  let mk ~atts ~links ~streams ~dd ~cat ~snap_seq =
+    {
+      e_fs = fs;
+      atts;
+      links;
+      sessions = [];
+      dd;
+      cat;
+      cpu;
+      costs;
+      clock;
+      retry;
+      model;
+      streams;
+      snap_seq;
+      stats = None;
+    }
+  in
+  match read_fixed r 5 with
+  | ("RENG2" | "RENG3") as generation ->
+    (* Pre-network stores: every stacker was cabled to the backup host,
+       and RENG2 additionally predates per-part drive placement. *)
+    let nlibs = read_u16 r in
+    let libs = Array.init nlibs (fun _ -> Library.load r) in
+    let streams = Array.init nlibs (fun _ -> read_u32 r) in
+    let dd = Dumpdates.decode (read_string r) in
+    let version = if String.equal generation "RENG2" then 2 else 3 in
+    let cat = Catalog.decode ~version (read_string r) in
+    let snap_seq = read_u32 r in
+    mk
+      ~atts:(Array.map (fun l -> { att_lib = l; att_host = "" }) libs)
+      ~links:[] ~streams ~dd ~cat ~snap_seq
+  | "RENG4" ->
+    let nlinks = read_u16 r in
+    let links =
+      List.init nlinks (fun _ ->
+          let l = Link.load r in
+          (Link.label l, l))
+    in
+    let natts = read_u16 r in
+    let atts =
+      Array.init natts (fun _ ->
+          let att_host = read_string r in
+          let att_lib = Library.load r in
+          { att_lib; att_host })
+    in
+    let streams = Array.init natts (fun _ -> read_u32 r) in
+    let dd = Dumpdates.decode (read_string r) in
+    let cat = Catalog.decode (read_string r) in
+    let snap_seq = read_u32 r in
+    mk ~atts ~links ~streams ~dd ~cat ~snap_seq
+  | m ->
+    raise (Corrupt (Printf.sprintf "unknown engine store generation %S" m))
 
 let verify_physical t ~label =
   match Catalog.restore_chain t.cat ~label ~strategy:Strategy.Physical with

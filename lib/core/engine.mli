@@ -65,16 +65,128 @@ val create :
   t
 (** [clock] receives the retry backoff delays ({!Repro_fault.Retry.run});
     without one, backoff costs no simulated time. [retry] defaults to
-    {!Repro_fault.Retry.default}; [model] to {!default_io_model}. *)
+    {!Repro_fault.Retry.default}; [model] to {!default_io_model}. The
+    [libraries] are locally attached; see {!attach_remote} for drives on a
+    tape server. *)
 
 val fs : t -> Repro_wafl.Fs.t
 val catalog : t -> Catalog.t
 val dumpdates : t -> Repro_dump.Dumpdates.t
 
+(** {1 Remote tape servers}
+
+    The NDMP-style three-way configuration: stackers that live on a tape
+    server reached over a simulated {!Repro_net.Link} rather than cabled
+    to the backup host. A remote drive is just another pool slot — parts
+    scheduled onto it are shipped record-by-record by the
+    {!Mover} through a flow-controlled {!Repro_net.Session}, and restores
+    ship the stream back. Byte content on the remote cartridges is
+    identical to a local backup's. *)
+
+val attach_remote :
+  t ->
+  host:string ->
+  ?link_params:Repro_net.Link.params ->
+  libraries:Repro_tape.Library.t list ->
+  unit ->
+  int list
+(** Attach a tape server's stackers, returning their new drive indices
+    (usable anywhere a drive index is: [drives] pools, catalog entries).
+    The first attachment to [host] creates its link ([link_params]
+    defaulting to {!Repro_net.Link.default_params}); later attachments
+    reuse it and must not pass [link_params]. The control session is
+    dialed lazily on first use. Raises [Invalid_argument] on an empty
+    [host], an empty [libraries], or re-configuring an existing link. *)
+
+val drive_count : t -> int
+(** Local and remote attachments together. *)
+
+val drive_host : t -> int -> string
+(** [""] for a locally attached drive. *)
+
+val hosts : t -> string list
+(** Tape-server hosts, in attachment order. *)
+
+val link_to : t -> host:string -> Repro_net.Link.t option
+val remote_drives : t -> host:string -> int list
+
 val last_stats : t -> Scheduler.stats option
 (** Drive-pool schedule of the most recent backup or restore: simulated
     makespan and per-drive busy seconds / job counts (summed over a restore
     chain's entries). [None] before any scheduled operation. *)
+
+(** {1 Backup}
+
+    A backup is described by a {!Job.t} — one value carrying the whole
+    configuration — and run with {!backup_job}. *)
+
+module Job : sig
+  type t = private {
+    strategy : Strategy.t;
+    level : int;  (** dump level; 0 = full *)
+    subtree : string;  (** logical backups only *)
+    exclude : Repro_dump.Filter.t option;
+    label : string option;  (** catalog label; defaults to the subtree *)
+    parts : int;  (** independent tape streams the job is split into *)
+    drives : int list option;
+        (** the drive pool; [None] means drive 0 for a fresh job and the
+            checkpointed pool on resume *)
+    resume : bool;
+  }
+
+  val make :
+    strategy:Strategy.t ->
+    ?level:int ->
+    ?subtree:string ->
+    ?exclude:Repro_dump.Filter.t ->
+    ?label:string ->
+    ?parts:int ->
+    ?drives:int list ->
+    ?resume:bool ->
+    unit ->
+    t
+  (** Defaults: level 0, subtree ["/"], one part, no explicit pool, fresh
+      (non-resuming) job. *)
+
+  val label : t -> string
+  (** The effective catalog label. *)
+end
+
+val backup_job : t -> Job.t -> Catalog.entry
+(** Run one backup job. [level] applies as the dump level (a physical
+    incremental requires a prior physical backup of the label, else
+    [Repro_wafl.Fs.Error]); [subtree] applies to logical backups only (a
+    physical dump always captures the volume).
+
+    [parts] splits the job into that many independent tape streams, each a
+    self-contained dump of its share (logical: files by inode number mod
+    [parts]; physical: contiguous block ranges). Every completed part is
+    checkpointed in the catalog. If a hard fault kills the job, the
+    exception propagates with the checkpoint (and the job's snapshot) left
+    in place; [resume] then picks the job up — level, subtree, parts, the
+    drive pool and the dump date come from the checkpoint, only unfinished
+    parts are dumped, and the result entry covers the whole job.
+    [~resume:true] with no checkpoint for (strategy, label) raises
+    [Repro_wafl.Fs.Error]. A fresh job discards any stale checkpoint (and
+    its snapshot) for the same key. [exclude] is not checkpointed; pass it
+    again on resume.
+
+    [drives] is the pool, local and remote indices alike: parts are
+    admitted in order to free drives and run concurrently on simulated
+    time. A drive killed by a hard fault ({!Repro_fault.Fault.Drive_dead},
+    or {!Repro_fault.Fault.Partitioned} for a remote drive whose link
+    hard-partitions) loses only its in-flight part — the rest of the queue
+    drains on the surviving drives, every completed part is checkpointed
+    with the drive it landed on, and the fault then propagates;
+    [~resume:true] re-dumps exactly the unfinished parts. Raises
+    [Invalid_argument] on an empty, duplicated or out-of-range pool.
+
+    Transient faults never surface here: each part attempt retries under
+    the engine's {!Repro_fault.Retry.policy}, sealing the partial stream
+    before each retry — a remote part whose frames exhaust their
+    retransmit budget surfaces as transient and retries the same way.
+    Dumpdates and the catalog entry are recorded only when the whole job
+    completes. *)
 
 val backup :
   t ->
@@ -89,38 +201,43 @@ val backup :
   ?resume:bool ->
   unit ->
   Catalog.entry
-(** [level] defaults to 0 (full). [subtree] defaults to ["/"] and applies
-    to logical backups only (a physical dump always captures the volume).
-    [label] defaults to the subtree. Raises [Repro_wafl.Fs.Error] on a
-    level->0 physical incremental with no prior full, or an invalid
-    subtree.
+(** Deprecated spelling of {!backup_job}, kept for existing callers:
+    [backup t ~strategy ...] is
+    [backup_job t (Job.make ~strategy ... ())] with [?drive] folded into
+    the pool default. New code should build a {!Job.t}. *)
 
-    [parts] (default 1) splits the job into that many independent tape
-    streams, each a self-contained dump of its share (logical: files by
-    inode number mod [parts]; physical: contiguous block ranges). Every
-    completed part is checkpointed in the catalog. If a hard fault kills
-    the job, the exception propagates with the checkpoint (and the job's
-    snapshot) left in place; [resume] then picks the job up — [level],
-    [subtree], [parts], the drive pool and the dump date come from the
-    checkpoint, only unfinished parts are dumped, and the result entry
-    covers the whole job. [~resume:true] with no checkpoint for
-    (strategy, label) raises [Repro_wafl.Fs.Error]. A fresh backup
-    discards any stale checkpoint (and its snapshot) for the same key.
-    [exclude] is not checkpointed; pass it again on resume.
+(** {1 Restore} *)
 
-    [drives] (default [[drive]]) is the pool: parts are admitted in order
-    to free drives and run concurrently on simulated time. A drive killed
-    by a hard fault ({!Repro_fault.Fault.Drive_dead}) loses only its
-    in-flight part — the rest of the queue drains on the surviving drives,
-    every completed part is checkpointed with the drive it landed on, and
-    the fault then propagates; [~resume:true] re-dumps exactly the
-    unfinished parts. Raises [Invalid_argument] on an empty, duplicated or
-    out-of-range pool.
+val restore :
+  t ->
+  strategy:Strategy.t ->
+  label:string ->
+  ?fs:Repro_wafl.Fs.t ->
+  ?target:string ->
+  ?select:string list ->
+  ?volume:Repro_block.Volume.t ->
+  ?concurrency:int ->
+  unit ->
+  [ `Logical of Repro_dump.Restore.apply_result list
+  | `Physical of Repro_image.Image_restore.result list ]
+(** Replay the restore chain for [label] under either strategy, one
+    result per chain entry.
 
-    Transient faults never surface here: each part attempt retries under
-    the engine's {!Repro_fault.Retry.policy}, sealing the partial stream
-    before each retry. Dumpdates and the catalog entry are recorded only
-    when the whole job completes. *)
+    Logical needs [~target] (the directory restored into) and optionally
+    [~fs] (defaults to the engine's file system — pass a scratch one to
+    restore elsewhere); [~select] extracts specific paths from the newest
+    applicable full dump only. Physical needs [~volume], the (new) volume
+    the image chain is replayed onto; mount it afterwards with
+    [Repro_wafl.Fs.mount]. Passing [~select] with the physical strategy,
+    or omitting a required argument, raises [Invalid_argument].
+
+    Each result sums over its entry's part streams; [concurrency]
+    (default 1 — strict part order) lets up to that many parts replay at
+    once, each on the drive that wrote it, with entries of the chain still
+    applied strictly in order. Streams on a remote drive are shipped back
+    over the tape server's session before applying (the three-way restore
+    path). Raises [Repro_wafl.Fs.Error] when no backup of [label] exists
+    under [strategy]. *)
 
 val restore_logical :
   t ->
@@ -131,14 +248,12 @@ val restore_logical :
   ?concurrency:int ->
   unit ->
   Repro_dump.Restore.apply_result list
-(** Apply the full-plus-incrementals chain for [label] into
-    [target]. [select] extracts specific paths from the newest applicable
-    full dump only (stupidity recovery does not need the whole chain when
-    the file is on the level-0 tape; for files created later, restore the
-    chain without [select]). Each result sums over the entry's part
-    streams; [concurrency] (default 1 — strict part order) lets up to that
-    many parts replay at once, each on the drive that wrote it, with
-    entries of the chain still applied strictly in order. *)
+(** [restore ~strategy:Logical] without the variant wrapping: apply the
+    full-plus-incrementals chain for [label] into [target]. [select]
+    extracts specific paths from the newest applicable full dump only
+    (stupidity recovery does not need the whole chain when the file is on
+    the level-0 tape; for files created later, restore the chain without
+    [select]). *)
 
 val restore_physical :
   t ->
@@ -147,9 +262,9 @@ val restore_physical :
   ?concurrency:int ->
   unit ->
   Repro_image.Image_restore.result list
-(** Disaster recovery: replay the image chain onto a (new) volume. Mount
-    it afterwards with [Repro_wafl.Fs.mount]. Each result sums over the
-    entry's part streams; [concurrency] as in {!restore_logical}. *)
+(** [restore ~strategy:Physical] without the variant wrapping: disaster
+    recovery, replaying the image chain onto a (new) volume. Mount it
+    afterwards with [Repro_wafl.Fs.mount]. *)
 
 val verify_physical : t -> label:string -> (int, string list) result
 (** Checksum-verify every stream of the physical chain. *)
@@ -173,7 +288,9 @@ val verify_logical :
     counters — serializes as one blob, so an interrupted job survives a
     process restart and resumes from the reloaded store. The file system's
     volume is saved separately (see {!Repro_block.Persist} and
-    {!Store}). *)
+    {!Store}). The current generation is [RENG4] (links and remote
+    attachments included); {!load} also reads [RENG3] and [RENG2] stores,
+    whose drives come back locally attached (see docs/FORMATS.md). *)
 
 val save : Repro_util.Serde.writer -> t -> unit
 

@@ -14,6 +14,9 @@ type spec =
   | Tape_drive_death of { device : string; after_records : int }
   | Nvram_loss of { device : string; after_ops : int }
   | Torn_fsinfo_write of { device : string }
+  | Packet_loss of { device : string; losses : int; prob : float }
+  | Link_flap of { device : string; after_frames : int; down_frames : int }
+  | Link_partition of { device : string; after_frames : int }
 
 type event = {
   seq : int;
@@ -38,6 +41,12 @@ type dstate = {
   mutable tape_dead : bool;
   mutable nvram_countdown : int;
   mutable torn_fsinfo : bool;
+  mutable loss_left : int;
+  mutable loss_prob : float;
+  mutable flap_countdown : int;  (** frames until the flap starts; -1 = none *)
+  mutable flap_left : int;  (** frames still dropped by an active flap *)
+  mutable partition_countdown : int;  (** -1 = no partition scheduled *)
+  mutable partitioned : bool;
 }
 
 let fresh_dstate () =
@@ -53,6 +62,12 @@ let fresh_dstate () =
     tape_dead = false;
     nvram_countdown = -1;
     torn_fsinfo = false;
+    loss_left = 0;
+    loss_prob = 0.0;
+    flap_countdown = -1;
+    flap_left = 0;
+    partition_countdown = -1;
+    partitioned = false;
   }
 
 type plane = {
@@ -105,7 +120,17 @@ let plan ?(seed = 0) specs =
         (state p device).tape_death_countdown <- after_records
       | Nvram_loss { device; after_ops } ->
         (state p device).nvram_countdown <- after_ops
-      | Torn_fsinfo_write { device } -> (state p device).torn_fsinfo <- true)
+      | Torn_fsinfo_write { device } -> (state p device).torn_fsinfo <- true
+      | Packet_loss { device; losses; prob } ->
+        let s = state p device in
+        s.loss_left <- s.loss_left + losses;
+        s.loss_prob <- prob
+      | Link_flap { device; after_frames; down_frames } ->
+        let s = state p device in
+        s.flap_countdown <- after_frames;
+        s.flap_left <- down_frames
+      | Link_partition { device; after_frames } ->
+        (state p device).partition_countdown <- after_frames)
     specs;
   p
 
@@ -183,6 +208,7 @@ let pp_journal ppf p =
 exception Media_error of { device : string; addr : int }
 exception Transient of { device : string; what : string }
 exception Drive_dead of string
+exception Partitioned of string
 
 (* ------------------------------------------------------------------ *)
 (* Hooks                                                               *)
@@ -313,15 +339,56 @@ let on_fsinfo_write ~device ~primary =
       end
       else `Ok)
 
+let on_link_send ~device ~frame =
+  match !current with
+  | None -> `Ok
+  | Some p -> (
+    match Hashtbl.find_opt p.by_device device with
+    | None -> `Ok
+    | Some s ->
+      if s.partitioned then begin
+        inject p ~kind:"net-partition" ~device ~addr:frame
+          ~detail:"link is partitioned";
+        raise (Partitioned device)
+      end;
+      if s.partition_countdown >= 0 then begin
+        s.partition_countdown <- s.partition_countdown - 1;
+        if s.partition_countdown < 0 then begin
+          s.partitioned <- true;
+          inject p ~kind:"net-partition" ~device ~addr:frame
+            ~detail:"link partitioned mid-stream";
+          raise (Partitioned device)
+        end
+      end;
+      if s.flap_countdown >= 0 then s.flap_countdown <- s.flap_countdown - 1;
+      if s.flap_countdown < 0 && s.flap_left > 0 then begin
+        s.flap_left <- s.flap_left - 1;
+        inject p ~kind:"net-flap" ~device ~addr:frame ~detail:"link down, frame dropped";
+        `Lost
+      end
+      else if s.loss_left > 0 && Prng.float p.rng 1.0 < s.loss_prob then begin
+        s.loss_left <- s.loss_left - 1;
+        inject p ~kind:"net-loss" ~device ~addr:frame ~detail:"frame dropped";
+        `Lost
+      end
+      else `Ok)
+
 let revive p ~device =
   let s = state p device in
   s.tape_dead <- false;
   s.tape_death_countdown <- -1;
-  record p ~kind:"revive" ~device ~addr:(-1) ~detail:"drive replaced"
+  s.partitioned <- false;
+  s.partition_countdown <- -1;
+  record p ~kind:"revive" ~device ~addr:(-1) ~detail:"drive replaced / link healed"
 
 let dead p ~device =
   match Hashtbl.find_opt p.by_device device with
   | Some s -> s.tape_dead
+  | None -> false
+
+let partitioned p ~device =
+  match Hashtbl.find_opt p.by_device device with
+  | Some s -> s.partitioned
   | None -> false
 
 (* ------------------------------------------------------------------ *)
@@ -349,3 +416,11 @@ let note_skip ~device ~addr ~what =
   | Some p ->
     Obs.count "fault.skips" 1;
     record p ~kind:"skip" ~device ~addr ~detail:what
+
+let note_retransmit ~device ~frame =
+  match !current with
+  | None -> -1
+  | Some p ->
+    Obs.count "fault.retransmits" 1;
+    record_ev p ~kind:"retransmit" ~device ~addr:frame
+      ~detail:"timeout, frame resent" ~injected:false

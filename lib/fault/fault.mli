@@ -2,9 +2,11 @@
 
     A fault {e plan} is a declarative list of {!spec}s — latent sector
     errors, transient read timeouts, tape soft/hard errors, drive death,
-    NVRAM loss, torn fsinfo writes — compiled into a {!plane} and {!arm}ed
-    against hook points threaded through the device layers ({!Disk},
-    {!Raid}, {!Tape}, {!Tapeio}, {!Nvram}, and the fsinfo write path).
+    NVRAM loss, torn fsinfo writes, packet loss, link flaps and
+    partitions — compiled into a {!plane} and {!arm}ed against hook
+    points threaded through the device layers ({!Disk}, {!Raid},
+    {!Tape}, {!Tapeio}, {!Nvram}, the fsinfo write path, and the
+    network links of {!Repro_net}).
     Devices call the [on_*] hooks on every I/O; when no plane is armed a
     hook is a single load-and-branch, so the plane costs nothing on the
     hot path (see the [faults] bench target).
@@ -18,7 +20,8 @@
     Fault addressing is by device label: disks are ["<vol>.rg<g>.d<i>"]
     (see {!Repro_block.Raid.create}), tape drives are the stacker label,
     volumes (for torn fsinfo writes) the volume label, NVRAM defaults to
-    ["nvram"]. *)
+    ["nvram"], network links are the link label (["link:<host>"] for the
+    engine's remote tape servers). *)
 
 (** One declarative fault. [device] is always a device label. *)
 type spec =
@@ -59,6 +62,22 @@ type spec =
       (** The next {e primary} fsinfo write on volume [device] is torn:
           only the first half of the block reaches the media. One-shot.
           Recoverable via the redundant copy. *)
+  | Packet_loss of { device : string; losses : int; prob : float }
+      (** Each frame sent on link [device] is dropped with probability
+          [prob] (drawn from the plane's seeded PRNG), at most [losses]
+          times. The transport's retransmission absorbs these
+          ({!Repro_net.Session}); exhausting its retransmit budget
+          surfaces {!Transient} to the engine-level retry. *)
+  | Link_flap of { device : string; after_frames : int; down_frames : int }
+      (** After [after_frames] further frame sends on link [device], the
+          link goes down for the next [down_frames] sends (all dropped),
+          then comes back. One-shot — a burst loss the transport rides
+          out. *)
+  | Link_partition of { device : string; after_frames : int }
+      (** After [after_frames] further frame sends, link [device]
+          partitions hard: that send and every later one raises
+          {!Partitioned} until {!revive} heals the link. The network
+          analogue of {!Tape_drive_death}. *)
 
 type plane
 (** A compiled plan plus its journal and counters. *)
@@ -96,6 +115,12 @@ exception Drive_dead of string
     drives) or the disk is rebuilt (disks, which convert this into
     [Disk.Disk_failed]). *)
 
+exception Partitioned of string
+(** Link [device] is partitioned: nothing crosses it until {!revive}.
+    The engine treats this like {!Drive_dead} — the in-flight part dies,
+    the drive pool shrinks, and [backup ~resume:true] re-dumps only the
+    unfinished parts once the link heals. *)
+
 (** {1 Hooks} (called by the device layers; no-ops when disarmed) *)
 
 val on_disk_read : device:string -> addr:int -> unit
@@ -114,10 +139,20 @@ val on_fsinfo_write : device:string -> primary:bool -> [ `Ok | `Torn ]
 (** [`Torn] instructs the file system to write only the first half of
     the fsinfo block (the tail stays whatever was there before). *)
 
+val on_link_send : device:string -> frame:int -> [ `Ok | `Lost ]
+(** Called by the network transport for every frame committed to link
+    [device] (control and data, retransmissions included); [frame] is the
+    link's cumulative send count. [`Lost] means the frame vanished —
+    the sender's retransmission timer must recover it. Raises
+    {!Partitioned} when a {!Link_partition} has triggered. *)
+
 val revive : plane -> device:string -> unit
-(** Operator intervention: bring a dead tape drive back (journalled). *)
+(** Operator intervention: bring a dead tape drive back, or heal a
+    partitioned link (journalled). *)
 
 val dead : plane -> device:string -> bool
+
+val partitioned : plane -> device:string -> bool
 
 (** {1 Response notes} (called by the layers that survive faults) *)
 
@@ -133,14 +168,19 @@ val note_retry :
 val note_skip : device:string -> addr:int -> what:string -> unit
 (** A degradation: e.g. logical dump skipped unreadable inode [addr]. *)
 
+val note_retransmit : device:string -> frame:int -> int
+(** The transport retransmitted frame [frame] on link [device]. Returns
+    the journal seq (-1 when disarmed), like {!note_retry}. *)
+
 (** {1 Journal} *)
 
 type event = {
   seq : int;
   kind : string;
       (** [lse], [transient], [disk-dead], [tape-soft], [tape-hard],
-          [tape-dead], [nvram-loss], [torn-fsinfo], [lse-cleared],
-          [repair], [retry], [skip], [revive] *)
+          [tape-dead], [nvram-loss], [torn-fsinfo], [net-loss],
+          [net-flap], [net-partition], [lse-cleared], [repair], [retry],
+          [retransmit], [skip], [revive] *)
   device : string;
   addr : int;  (** block/record index, attempt number, or -1 *)
   detail : string;

@@ -1,0 +1,31 @@
+module Serde = Repro_util.Serde
+module Crc32 = Repro_util.Crc32
+
+let magic = "RNF1"
+let overhead = String.length magic + 4 + 4 + 4
+
+(* The CRC covers the sequence number as well as the payload: a damaged
+   seq must not deliver an intact payload into the wrong slot. *)
+let crc_of ~seq payload =
+  let w = Serde.writer ~initial_size:4 () in
+  Serde.write_u32 w seq;
+  Crc32.finish
+    (Crc32.update_string (Crc32.update_string Crc32.init (Serde.contents w)) payload)
+
+let encode ~seq payload =
+  let w = Serde.writer ~initial_size:(overhead + String.length payload) () in
+  Serde.write_fixed w magic;
+  Serde.write_u32 w seq;
+  Serde.write_u32 w (crc_of ~seq payload);
+  Serde.write_string w payload;
+  Serde.contents w
+
+let decode s =
+  let r = Serde.reader s in
+  Serde.expect_magic r magic;
+  let seq = Serde.read_u32 r in
+  let crc = Serde.read_u32 r in
+  let payload = Serde.read_string r in
+  if crc_of ~seq payload <> crc then
+    raise (Serde.Corrupt (Printf.sprintf "frame %d: header CRC mismatch" seq));
+  (seq, payload)

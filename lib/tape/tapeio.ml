@@ -1,29 +1,39 @@
 let default_record_bytes = 64 * 1024
 
+type backend = { be_put : string -> unit; be_mark : unit -> unit }
+
 type sink = {
-  lib : Library.t;
+  be : backend;
   record_bytes : int;
   buf : Buffer.t;
   mutable written : int;
 }
 
-let sink ?(record_bytes = default_record_bytes) lib =
-  if record_bytes <= 0 then invalid_arg "Tapeio.sink";
+(* Write one physical record, changing cartridges on end-of-tape. *)
+let rec put_record lib s =
+  try Tape.write_record (Library.drive lib) s
+  with Tape.End_of_tape ->
+    if Library.load_next lib then put_record lib s else raise Tape.End_of_tape
+
+let library_backend lib =
   (match Tape.loaded (Library.drive lib) with
   | None -> if not (Library.load_next lib) then raise Tape.End_of_tape
   | Some _ -> ());
-  { lib; record_bytes; buf = Buffer.create record_bytes; written = 0 }
+  {
+    be_put = (fun s -> put_record lib s);
+    be_mark = (fun () -> Tape.write_filemark (Library.drive lib));
+  }
 
-(* Write one physical record, changing cartridges on end-of-tape. *)
-let rec put_record t s =
-  try Tape.write_record (Library.drive t.lib) s
-  with Tape.End_of_tape ->
-    if Library.load_next t.lib then put_record t s else raise Tape.End_of_tape
+let sink_to ?(record_bytes = default_record_bytes) be =
+  if record_bytes <= 0 then invalid_arg "Tapeio.sink";
+  { be; record_bytes; buf = Buffer.create record_bytes; written = 0 }
+
+let sink ?record_bytes lib = sink_to ?record_bytes (library_backend lib)
 
 let flush_full t =
   while Buffer.length t.buf >= t.record_bytes do
     let all = Buffer.contents t.buf in
-    put_record t (String.sub all 0 t.record_bytes);
+    t.be.be_put (String.sub all 0 t.record_bytes);
     Buffer.clear t.buf;
     Buffer.add_substring t.buf all t.record_bytes (String.length all - t.record_bytes)
   done
@@ -35,33 +45,20 @@ let output t s =
 
 let close_sink t =
   if Buffer.length t.buf > 0 then begin
-    put_record t (Buffer.contents t.buf);
+    t.be.be_put (Buffer.contents t.buf);
     Buffer.clear t.buf
   end;
-  Tape.write_filemark (Library.drive t.lib);
+  t.be.be_mark ();
   Repro_obs.Obs.hist "tape.stream_bytes" t.written
 
 let sink_bytes_written t = t.written
 
 type source = {
-  slib : Library.t;
+  next_rec : unit -> string option;
   mutable cur : string;
   mutable pos : int;
   mutable finished : bool;
 }
-
-let source ?record_bytes:_ ?(skip_streams = 0) lib =
-  Library.rewind_to_start lib;
-  (* Space past [skip_streams] filemarks, changing cartridges as needed. *)
-  let remaining = ref skip_streams in
-  while !remaining > 0 do
-    match Tape.read_record (Library.drive lib) with
-    | Tape.Filemark -> decr remaining
-    | Tape.Record _ -> ()
-    | Tape.End_of_data ->
-      if not (Library.advance_for_read lib) then raise End_of_file
-  done;
-  { slib = lib; cur = ""; pos = 0; finished = false }
 
 (* A real drive retries soft read errors internally before surfacing
    anything; model that with a small bounded in-place retry whose delay is
@@ -85,18 +82,49 @@ let read_record_resilient lib =
   in
   go 1
 
-let rec refill t =
+let records ?(skip_streams = 0) lib =
+  Library.rewind_to_start lib;
+  (* Space past [skip_streams] filemarks, changing cartridges as needed. *)
+  let remaining = ref skip_streams in
+  while !remaining > 0 do
+    match Tape.read_record (Library.drive lib) with
+    | Tape.Filemark -> decr remaining
+    | Tape.Record _ -> ()
+    | Tape.End_of_data ->
+      if not (Library.advance_for_read lib) then raise End_of_file
+  done;
+  let finished = ref false in
+  let rec next () =
+    if !finished then None
+    else
+      match read_record_resilient lib with
+      | Tape.Record s -> Some s
+      | Tape.Filemark ->
+        finished := true;
+        None
+      | Tape.End_of_data ->
+        if Library.advance_for_read lib then next ()
+        else begin
+          finished := true;
+          None
+        end
+      | exception Repro_fault.Fault.Media_error { device; addr } ->
+        Repro_fault.Fault.note_skip ~device ~addr ~what:"unreadable record lost";
+        next ()
+  in
+  next
+
+let source_of next_rec = { next_rec; cur = ""; pos = 0; finished = false }
+
+let source ?record_bytes:_ ?skip_streams lib = source_of (records ?skip_streams lib)
+
+let refill t =
   if not t.finished && t.pos >= String.length t.cur then begin
-    match read_record_resilient t.slib with
-    | Tape.Record s ->
+    match t.next_rec () with
+    | Some s ->
       t.cur <- s;
       t.pos <- 0
-    | Tape.Filemark -> t.finished <- true
-    | Tape.End_of_data ->
-      if Library.advance_for_read t.slib then refill t else t.finished <- true
-    | exception Repro_fault.Fault.Media_error { device; addr } ->
-      Repro_fault.Fault.note_skip ~device ~addr ~what:"unreadable record lost";
-      refill t
+    | None -> t.finished <- true
   end
 
 let input t n =

@@ -1,0 +1,69 @@
+(* Golden test for backupctl's generated usage: the command/flag registry
+   (Repro_cli.Usage) renders the summary table embedded in the top-level
+   help, and this test pins it. A command or flag added without updating
+   test/cli_help.golden fails here — which is the point: the help can no
+   longer silently omit an option (the bug that motivated the registry:
+   serve/--remote missing from the hand-maintained summary). *)
+
+module Cli = Repro_cli.Cli
+module Usage = Repro_cli.Usage
+
+let checkb = Alcotest.(check bool)
+
+(* Referencing the command list forces Cli's module initialization, which
+   performs every registration. *)
+let commands = Cli.commands
+
+let table () = Usage.table ()
+
+let test_matches_golden () =
+  let ic = open_in_bin "cli_help.golden" in
+  let golden = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  let actual = table () ^ "\n" in
+  if not (String.equal golden actual) then (
+    Format.printf "--- regenerate test/cli_help.golden with: ---@.%s@." actual;
+    Alcotest.fail "usage table drifted from test/cli_help.golden")
+
+let contains ~needle hay =
+  let n = String.length needle and h = String.length hay in
+  let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+  go 0
+
+let test_mentions_every_command () =
+  let t = table () in
+  List.iter
+    (fun cmd ->
+      checkb
+        (Printf.sprintf "help mentions %s" (Cmdliner.Cmd.name cmd))
+        true
+        (contains ~needle:(Cmdliner.Cmd.name cmd) t))
+    commands;
+  (* the registry and the real command list agree exactly *)
+  Alcotest.(check (list string))
+    "registry matches commands"
+    (List.sort compare (List.map Cmdliner.Cmd.name commands))
+    (List.sort compare (List.map fst (Usage.commands ())))
+
+let test_mentions_every_flag () =
+  let t = table () in
+  List.iter
+    (fun flag ->
+      checkb (Printf.sprintf "help mentions %s" flag) true (contains ~needle:flag t))
+    (Usage.all_flags ());
+  (* the network additions specifically: the bug this registry fixes *)
+  List.iter
+    (fun needle ->
+      checkb (Printf.sprintf "help mentions %s" needle) true (contains ~needle t))
+    [ "serve"; "--remote"; "--bandwidth-mib" ]
+
+let () =
+  Alcotest.run "cli"
+    [
+      ( "usage",
+        [
+          Alcotest.test_case "table matches golden" `Quick test_matches_golden;
+          Alcotest.test_case "every command in help" `Quick test_mentions_every_command;
+          Alcotest.test_case "every flag in help" `Quick test_mentions_every_flag;
+        ] );
+    ]

@@ -34,6 +34,7 @@ let entry ?(strategy = Strategy.Logical) ?(level = 0) ?(snapshot = "")
     stream = 0;
     streams = [ 0 ];
     part_drives = [ 0 ];
+    part_hosts = [ "" ];
     media = [];
     snapshot;
     base_snapshot;
@@ -88,6 +89,38 @@ let test_catalog_physical_chain () =
   (* unrelated strategy/label invisible *)
   checki "no logical chain" 0
     (List.length (Catalog.restore_chain c ~label:"vol" ~strategy:Strategy.Logical))
+
+(* A catalog serialized by the RENG2-era encoder (checked-in binary
+   fixture, generated from the layout at commit 7c1430c) must still
+   decode: entries predate per-part drives and hosts, so both default —
+   every part on the entry's drive, every drive local — and an in-flight
+   checkpoint comes back resumable with its pool defaulting likewise. *)
+let test_catalog_reng2_fixture () =
+  let ic = open_in_bin "fixtures/catalog_reng2.bin" in
+  let data = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  let c = Catalog.decode ~version:2 data in
+  let es = Catalog.entries c in
+  checki "two entries" 2 (List.length es);
+  let e1 = List.nth es 0 and e2 = List.nth es 1 in
+  checks "label" "/data" e1.Catalog.label;
+  Alcotest.(check (list int)) "streams" [ 0; 1 ] e1.Catalog.streams;
+  Alcotest.(check (list int))
+    "part drives default to the entry drive" [ 0; 0 ] e1.Catalog.part_drives;
+  Alcotest.(check (list string))
+    "part hosts default to local" [ ""; "" ] e1.Catalog.part_hosts;
+  checki "physical entry keeps its drive" 1 e2.Catalog.drive;
+  Alcotest.(check (list int)) "singleton drive list" [ 1 ] e2.Catalog.part_drives;
+  checks "snapshot survives" "image.1" e2.Catalog.snapshot;
+  match Catalog.checkpoints c with
+  | [ ck ] ->
+    checks "checkpoint label" "/home" ck.Catalog.ck_label;
+    checki "parts" 3 ck.Catalog.ck_parts;
+    Alcotest.(check (list int)) "no recorded pool" [] ck.Catalog.ck_drives;
+    (match ck.Catalog.ck_done with
+    | [ d ] -> checki "done part's drive defaults to ck_drive" 0 d.Catalog.drive
+    | _ -> Alcotest.fail "expected one completed part")
+  | _ -> Alcotest.fail "expected one checkpoint"
 
 (* ------------------------------- engine ------------------------------ *)
 
@@ -145,11 +178,16 @@ let test_engine_physical_cycle () =
 
 (* Plain multi-part jobs, no faults, no resume: the stream addressing the
    scheduler refactor must preserve. Each part is its own tape stream; the
-   restored tree must equal the source for both strategies. *)
+   restored tree must equal the source for both strategies. Runs through
+   the Job API (the logical/physical cycle tests above keep covering the
+   legacy [Engine.backup] wrapper). *)
 let test_engine_multipart_plain () =
   (* logical, three parts on the default single drive *)
   let eng, fs = make_engine () in
-  let e = Engine.backup eng ~strategy:Strategy.Logical ~subtree:"/data" ~parts:3 () in
+  let e =
+    Engine.backup_job eng
+      (Engine.Job.make ~strategy:Strategy.Logical ~subtree:"/data" ~parts:3 ())
+  in
   checki "three streams" 3 (List.length e.Catalog.streams);
   Alcotest.(check (list int)) "streams in part order" [ 0; 1; 2 ] e.Catalog.streams;
   Alcotest.(check (list int))
@@ -162,7 +200,10 @@ let test_engine_multipart_plain () =
   | Error d -> Alcotest.failf "logical mismatch: %s" (String.concat ";" d));
   (* physical, two parts *)
   let eng2, fs2 = make_engine () in
-  let e2 = Engine.backup eng2 ~strategy:Strategy.Physical ~label:"vol" ~parts:2 () in
+  let e2 =
+    Engine.backup_job eng2
+      (Engine.Job.make ~strategy:Strategy.Physical ~label:"vol" ~parts:2 ())
+  in
   checki "two streams" 2 (List.length e2.Catalog.streams);
   let nvol = Volume.create ~label:"new" (Volume.small_geometry ~data_blocks:16384) in
   ignore (Engine.restore_physical eng2 ~label:"vol" ~volume:nvol ());
@@ -176,11 +217,14 @@ let test_engine_multipart_plain () =
 let test_engine_concurrent_drives () =
   let eng, fs = make_engine () in
   let e =
-    Engine.backup eng ~strategy:Strategy.Logical ~subtree:"/data" ~parts:4
-      ~drives:[ 0; 1 ] ()
+    Engine.backup_job eng
+      (Engine.Job.make ~strategy:Strategy.Logical ~subtree:"/data" ~parts:4
+         ~drives:[ 0; 1 ] ())
   in
   checki "four parts" 4 (List.length e.Catalog.streams);
   checki "drive list parallel to streams" 4 (List.length e.Catalog.part_drives);
+  Alcotest.(check (list string))
+    "all parts local" [ ""; ""; ""; "" ] e.Catalog.part_hosts;
   Alcotest.(check (list int))
     "both drives used"
     [ 0; 1 ]
@@ -205,14 +249,32 @@ let test_engine_selective_restore () =
   ignore (Fs.mkdir fs "/data/keep" ~perms:0o755);
   ignore (Fs.create fs "/data/keep/me.txt" ~perms:0o644);
   Fs.write fs "/data/keep/me.txt" ~offset:0 "precious";
-  ignore (Engine.backup eng ~strategy:Strategy.Logical ~subtree:"/data" ());
+  ignore
+    (Engine.backup_job eng
+       (Engine.Job.make ~strategy:Strategy.Logical ~subtree:"/data" ()));
   Fs.unlink fs "/data/keep/me.txt";
+  (* through the unified entry point: the strategy picks the variant *)
   let results =
-    Engine.restore_logical eng ~label:"/data" ~fs ~target:"/data"
-      ~select:[ "keep/me.txt" ] ()
+    match
+      Engine.restore eng ~strategy:Strategy.Logical ~label:"/data" ~target:"/data"
+        ~select:[ "keep/me.txt" ] ()
+    with
+    | `Logical rs -> rs
+    | `Physical _ -> Alcotest.fail "logical restore returned physical results"
   in
   checki "one stream read" 1 (List.length results);
-  checks "file back" "precious" (Fs.read fs "/data/keep/me.txt" ~offset:0 ~len:8)
+  checks "file back" "precious" (Fs.read fs "/data/keep/me.txt" ~offset:0 ~len:8);
+  (* misuse is rejected up front *)
+  (try
+     ignore (Engine.restore eng ~strategy:Strategy.Logical ~label:"/data" ());
+     Alcotest.fail "restore without ~target accepted"
+   with Invalid_argument _ -> ());
+  try
+    ignore
+      (Engine.restore eng ~strategy:Strategy.Physical ~label:"vol"
+         ~select:[ "x" ] ());
+    Alcotest.fail "physical restore with ~select accepted"
+  with Invalid_argument _ -> ()
 
 let test_engine_incremental_without_full () =
   let eng, _fs = make_engine () in
@@ -353,6 +415,8 @@ let () =
           Alcotest.test_case "ids and persistence" `Quick test_catalog_ids_and_persistence;
           Alcotest.test_case "logical chain rules" `Quick test_catalog_logical_chain;
           Alcotest.test_case "physical chain rules" `Quick test_catalog_physical_chain;
+          Alcotest.test_case "RENG2 fixture still decodes" `Quick
+            test_catalog_reng2_fixture;
         ] );
       ( "engine",
         [
