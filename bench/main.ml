@@ -755,8 +755,103 @@ let run_net () =
   say "  [BENCH_net.json written]@.";
   ok
 
+(* ------------------------------------------------------------------ *)
+(* Part 8: trace analysis                                              *)
+
+(* The analysis plane must reproduce the paper's diagnosis, not just its
+   numbers: a logical dump on 4 drives is gated by the random-read
+   saturation of the source disks (Table 4), a physical dump on 1 drive
+   by the tape (Table 2). Runs the same fixture as Part 6 under an armed
+   obs plane, classifies both runs, and checks the report is
+   byte-identical across two same-seed runs. Writes BENCH_analysis.json. *)
+let run_analysis () =
+  say "============================================================";
+  say " Part 8: trace analysis (critical path + bottleneck verdicts)";
+  say "============================================================@.";
+  let module Analysis = Repro_obs.Analysis in
+  let seed = 42 and blocks = 2048 and bytes = 6_000_000 and parts = 4 in
+  let analyze strategy k =
+    let vol =
+      Volume.create ~label:"scale" (Volume.small_geometry ~data_blocks:blocks)
+    in
+    let fs = Fs.mkfs vol in
+    let profile = { Generator.default with Generator.seed } in
+    ignore (Generator.populate ~profile ~fs ~root:"/data" ~total_bytes:bytes ());
+    let libs =
+      List.init 4 (fun i -> Library.create ~slots:16 ~label:(Printf.sprintf "S%d" i) ())
+    in
+    let eng = Engine.create ~fs ~libraries:libs () in
+    let drives = List.init k Fun.id in
+    let obs = Obs.create () in
+    Obs.with_armed obs (fun () ->
+        match strategy with
+        | Strategy.Logical ->
+          ignore (Engine.backup eng ~strategy ~subtree:"/data" ~parts ~drives ())
+        | Strategy.Physical ->
+          ignore (Engine.backup eng ~strategy ~label:"vol" ~parts ~drives ()));
+    Analysis.analyze obs
+  in
+  let backup_phase (r : Analysis.report) =
+    List.find (fun (p : Analysis.phase) -> p.Analysis.p_name = "backup") r.Analysis.phases
+  in
+  let mean_of (p : Analysis.phase) cls =
+    match
+      List.find_opt (fun (u : Analysis.usage) -> u.Analysis.u_class = cls) p.Analysis.p_usage
+    with
+    | Some u -> u.Analysis.u_mean
+    | None -> 0.0
+  in
+  let show name (r : Analysis.report) =
+    let p = backup_phase r in
+    let path_parts =
+      match p.Analysis.p_path with
+      | Some cp -> List.length cp.Analysis.cp_steps
+      | None -> 0
+    in
+    say "  %-18s %-13s  elapsed %7.2f s  disk %.2f  tape %.2f  path %d part%s"
+      name
+      (Analysis.verdict_to_string p.Analysis.p_verdict)
+      p.Analysis.p_elapsed (mean_of p "disk") (mean_of p "tape") path_parts
+      (if path_parts = 1 then "" else "s");
+    p
+  in
+  let log4 = analyze Strategy.Logical 4 in
+  let log4_again = analyze Strategy.Logical 4 in
+  let phy1 = analyze Strategy.Physical 1 in
+  let phy4 = analyze Strategy.Physical 4 in
+  let p_log4 = show "logical/4-drive" log4 in
+  let p_phy1 = show "physical/1-drive" phy1 in
+  let p_phy4 = show "physical/4-drive" phy4 in
+  let deterministic = Analysis.to_json log4 = Analysis.to_json log4_again in
+  let log4_ok = p_log4.Analysis.p_verdict = Analysis.Disk_limited in
+  let phy1_ok = p_phy1.Analysis.p_verdict = Analysis.Tape_limited in
+  let ok = log4_ok && phy1_ok && deterministic in
+  say "  logical 4-drive disk-limited:  %s" (if log4_ok then "yes" else "NO");
+  say "  physical 1-drive tape-limited: %s" (if phy1_ok then "yes" else "NO");
+  say "  report bytes identical across two same-seed runs: %s"
+    (if deterministic then "yes" else "NO");
+  say "  verdict:                     %s@." (if ok then "PASS" else "FAIL");
+  let run_obj name (p : Analysis.phase) =
+    Printf.sprintf
+      {|"%s":{"verdict":"%s","elapsed_s":%.6g,"disk_mean":%.6g,"tape_mean":%.6g}|}
+      name
+      (Analysis.verdict_to_string p.Analysis.p_verdict)
+      p.Analysis.p_elapsed (mean_of p "disk") (mean_of p "tape")
+  in
+  write_file "BENCH_analysis.json"
+    (Printf.sprintf
+       {|{"bench":"analysis","seed":%d,"data_bytes":%d,"parts":%d,%s,%s,%s,"deterministic":%b,"pass":%b}
+|}
+       seed bytes parts
+       (run_obj "logical_4drive" p_log4)
+       (run_obj "physical_1drive" p_phy1)
+       (run_obj "physical_4drive" p_phy4)
+       deterministic ok);
+  say "  [BENCH_analysis.json written]@.";
+  ok
+
 let usage () =
-  say "usage: main [all|tables|ablations|micro|faults|obs|scaling|net]";
+  say "usage: main [all|tables|ablations|micro|faults|obs|scaling|net|analysis]";
   exit 2
 
 let () =
@@ -770,8 +865,9 @@ let () =
     let obs_ok = run_obs () in
     let scaling_ok = run_scaling () in
     let net_ok = run_net () in
+    let analysis_ok = run_analysis () in
     say "bench: all parts complete.";
-    if not (obs_ok && scaling_ok && net_ok) then exit 1
+    if not (obs_ok && scaling_ok && net_ok && analysis_ok) then exit 1
   | "tables" -> run_tables ()
   | "ablations" -> run_ablations ()
   | "micro" -> run_microbenchmarks ()
@@ -779,4 +875,5 @@ let () =
   | "obs" -> if not (run_obs ()) then exit 1
   | "scaling" -> if not (run_scaling ()) then exit 1
   | "net" -> if not (run_net ()) then exit 1
+  | "analysis" -> if not (run_analysis ()) then exit 1
   | _ -> usage ()

@@ -21,6 +21,7 @@ module Fault = Repro_fault.Fault
 module Report = Repro_backup.Report
 module Disk = Repro_block.Disk
 module Obs = Repro_obs.Obs
+module Analysis = Repro_obs.Analysis
 module Link = Repro_net.Link
 
 open Cmdliner
@@ -76,6 +77,7 @@ let () =
       ("fault", "Run a backup drill under an armed fault plan and print the journal");
       ("trace", "Run a backup and export its Chrome trace_event JSON");
       ("metrics", "Run a backup and print its metrics registry");
+      ("analyze", "Run a backup and print its critical path and bottleneck verdict");
     ]
 
 let summary = Usage.summary
@@ -524,8 +526,8 @@ let report_entry (e : Catalog.entry) =
      else "")
 
 (* The backup job description, shared — identically — by the backup,
-   fault, trace and metrics commands. *)
-let backup_cmds = [ "backup"; "fault"; "trace"; "metrics" ]
+   fault, trace, metrics and analyze commands. *)
+let backup_cmds = [ "backup"; "fault"; "trace"; "metrics"; "analyze" ]
 
 let strategy_arg =
   Arg.(
@@ -674,6 +676,29 @@ let cmd_metrics =
   Cmd.v
     (Cmd.info "metrics" ~doc:(summary "metrics"))
     Term.(const run $ store_arg $ backup_args $ out $ jsonl)
+
+let cmd_analyze =
+  let run store args out =
+    handle (fun () ->
+        with_store store (fun engine ->
+            let o = Obs.create () in
+            Obs.with_armed o (fun () -> report_entry (run_backup engine args));
+            let report = Analysis.analyze o in
+            Report.bottleneck Format.std_formatter report;
+            Option.iter (fun p -> write_file p (Analysis.to_json report)) out;
+            true))
+  in
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info
+          (Usage.flag ~cmds:[ "analyze" ] [ "out"; "o" ])
+          ~docv:"FILE" ~doc:"Write the analysis report JSON to $(docv).")
+  in
+  Cmd.v
+    (Cmd.info "analyze" ~doc:(summary "analyze"))
+    Term.(const run $ store_arg $ backup_args $ out)
 
 let cmd_catalog =
   let run store =
@@ -1189,6 +1214,7 @@ let commands =
     cmd_fault;
     cmd_trace;
     cmd_metrics;
+    cmd_analyze;
   ]
 
 let run () =

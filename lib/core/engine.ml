@@ -15,6 +15,7 @@ module Image_dump = Repro_image.Image_dump
 module Image_restore = Repro_image.Image_restore
 module Retry = Repro_fault.Retry
 module Obs = Repro_obs.Obs
+module Analysis = Repro_obs.Analysis
 module Link = Repro_net.Link
 module Session = Repro_net.Session
 
@@ -416,8 +417,16 @@ let do_backup t ~strategy ~level ~subtree ?exclude ~drive ~drives:requested
           let modeled =
             { Scheduler.key = Resource.name disk; work = Float.of_int bytes /. rate }
           in
-          ( { Catalog.part = p; stream; drive; bytes; degraded },
-            net_demand ~host ~part:p shipment @ (modeled :: measured) ));
+          let demands = net_demand ~host ~part:p shipment @ (modeled :: measured) in
+          (* Close the part's span with its demand vector: the critical-path
+             analysis charges each step's gating intervals from these. *)
+          if Obs.enabled () then
+            Obs.annotate
+              (List.map
+                 (fun (d : Scheduler.demand) ->
+                   ("demand:" ^ d.Scheduler.key, Obs.Float d.Scheduler.work))
+                 demands);
+          ({ Catalog.part = p; stream; drive; bytes; degraded }, demands));
     }
   in
   let pending = List.filter (fun p -> not (is_done p)) (List.init parts Fun.id) in
@@ -433,8 +442,12 @@ let do_backup t ~strategy ~level ~subtree ?exclude ~drive ~drives:requested
         [
           ("part", Obs.Int (c.Scheduler.value.Catalog.part + 1));
           ("drive", Obs.Int c.Scheduler.drive);
+          ("sim_start_s", Obs.Float c.Scheduler.started);
           ("sim_finish_s", Obs.Float c.Scheduler.finished);
         ]
+  in
+  let sampler =
+    if Obs.enabled () then Some (Analysis.sampler ~prefix:"backup" ()) else None
   in
   let outcomes, stats =
     Scheduler.run
@@ -442,9 +455,12 @@ let do_backup t ~strategy ~level ~subtree ?exclude ~drive ~drives:requested
         | Repro_fault.Fault.Drive_dead _ | Repro_fault.Fault.Partitioned _ ->
           true
         | _ -> false)
-      ~on_complete ~drives
+      ~on_complete
+      ?on_interval:(Option.map (fun s -> Analysis.sampler_segment s) sampler)
+      ~drives
       (List.map part_job pending)
   in
+  Option.iter Analysis.sampler_flush sampler;
   note_stats t stats;
   List.iter
     (fun (d, busy, _) ->
@@ -624,7 +640,30 @@ let scheduled_parts t ~concurrency (e : Catalog.entry) ~execute =
         })
       locs
   in
-  let outcomes, stats = Scheduler.run ~max_active:concurrency ~drives jobs in
+  (* Later chain entries continue the restore timeline where the previous
+     schedule left off, so the recorded series and instants don't overlap. *)
+  let offset = match t.stats with Some s -> s.Scheduler.elapsed | None -> 0.0 in
+  let sampler =
+    if Obs.enabled () then
+      Some (Analysis.sampler ~prefix:"restore" ~t0:offset ())
+    else None
+  in
+  let on_complete i (c : _ Scheduler.completion) =
+    Obs.instant "scheduler.restore_part_done"
+      ~attrs:
+        [
+          ("part", Obs.Int (i + 1));
+          ("drive", Obs.Int c.Scheduler.drive);
+          ("sim_start_s", Obs.Float (offset +. c.Scheduler.started));
+          ("sim_finish_s", Obs.Float (offset +. c.Scheduler.finished));
+        ]
+  in
+  let outcomes, stats =
+    Scheduler.run ~max_active:concurrency ~on_complete
+      ?on_interval:(Option.map (fun s -> Analysis.sampler_segment s) sampler)
+      ~drives jobs
+  in
+  Option.iter Analysis.sampler_flush sampler;
   note_stats t stats;
   Array.iter
     (function Scheduler.Failed { error; _ } -> raise error | _ -> ())
@@ -674,9 +713,17 @@ let apply_entry t session ?select ~disk ~concurrency (e : Catalog.entry) =
              *. t.model.restore_create_latency_s;
       }
     in
-    ( r,
+    let demands =
       net_demand ~host:(drive_host t drive) ~part:stream shipment
-      @ (modeled :: measured) )
+      @ (modeled :: measured)
+    in
+    if Obs.enabled () then
+      Obs.annotate
+        (List.map
+           (fun (d : Scheduler.demand) ->
+             ("demand:" ^ d.Scheduler.key, Obs.Float d.Scheduler.work))
+           demands);
+    (r, demands)
   in
   sum_apply (scheduled_parts t ~concurrency e ~execute)
 
@@ -690,12 +737,18 @@ let restore_logical t ~label ~fs ~target ?select ?(concurrency = 1) () =
   | chain -> (
     let session = Restore.session ?cpu:t.cpu ~costs:t.costs ~fs ~target () in
     let disk = Volume.resource (Fs.volume fs) in
-    match select with
-    | Some _ ->
-      (* Selective extraction reads only the newest full dump. *)
-      let full = List.hd chain in
-      [ apply_entry t session ?select ~disk ~concurrency full ]
-    | None -> List.map (fun e -> apply_entry t session ~disk ~concurrency e) chain)
+    let out =
+      match select with
+      | Some _ ->
+        (* Selective extraction reads only the newest full dump. *)
+        let full = List.hd chain in
+        [ apply_entry t session ?select ~disk ~concurrency full ]
+      | None -> List.map (fun e -> apply_entry t session ~disk ~concurrency e) chain
+    in
+    (match t.stats with
+    | Some s -> Obs.annotate [ ("sim_elapsed_s", Obs.Float s.Scheduler.elapsed) ]
+    | None -> ());
+    out)
 
 let restore_physical t ~label ~volume ?(concurrency = 1) () =
   Obs.with_span "engine.restore"
@@ -723,9 +776,17 @@ let restore_physical t ~label ~volume ?(concurrency = 1) () =
               work = Float.of_int r.Image_restore.bytes_read /. t.model.image_write_bytes_s;
             }
           in
-          ( r,
+          let demands =
             net_demand ~host:(drive_host t drive) ~part:stream shipment
-            @ (modeled :: measured) )
+            @ (modeled :: measured)
+          in
+          if Obs.enabled () then
+            Obs.annotate
+              (List.map
+                 (fun (d : Scheduler.demand) ->
+                   ("demand:" ^ d.Scheduler.key, Obs.Float d.Scheduler.work))
+                 demands);
+          (r, demands)
         in
         match scheduled_parts t ~concurrency e ~execute with
         | [] -> assert false
@@ -738,6 +799,11 @@ let restore_physical t ~label ~volume ?(concurrency = 1) () =
               List.fold_left (fun a r -> a + r.Image_restore.bytes_read) 0 rs;
           })
       chain
+    |> fun out ->
+    (match t.stats with
+    | Some s -> Obs.annotate [ ("sim_elapsed_s", Obs.Float s.Scheduler.elapsed) ]
+    | None -> ());
+    out
 
 let restore t ~strategy ~label ?fs ?target ?select ?volume ?(concurrency = 1) ()
     =

@@ -1,5 +1,6 @@
 module Pipeline = Repro_sim.Pipeline
 module Blockmap = Repro_wafl.Blockmap
+module Analysis = Repro_obs.Analysis
 
 let hline ppf width = Format.fprintf ppf "%s@." (String.make width '-')
 
@@ -352,3 +353,60 @@ let concurrent ppf (c : Experiment.concurrent) =
     "  home slowdown when concurrent: %.3fx (paper: none — 'executed in exactly the same amount of time')@."
     slowdown;
   hline ppf 80
+
+(* The trace-analysis verdict: which resource gated each phase, and the
+   critical path the elapsed time flowed through. Rendered from an
+   Analysis.report so `backupctl analyze` and tests share the bytes. *)
+let bottleneck ppf (r : Analysis.report) =
+  Format.fprintf ppf "Trace analysis@.";
+  hline ppf 72;
+  if r.Analysis.phases = [] then
+    Format.fprintf ppf
+      "  no scheduler timelines recorded (run under an armed obs plane)@.";
+  List.iter
+    (fun (p : Analysis.phase) ->
+      Format.fprintf ppf "phase %s: %s (elapsed %.2f s)@." p.Analysis.p_name
+        (String.uppercase_ascii (Analysis.verdict_to_string p.Analysis.p_verdict))
+        p.Analysis.p_elapsed;
+      Format.fprintf ppf "  %-10s %10s %10s@." "resource" "mean busy" "peak busy";
+      List.iter
+        (fun (u : Analysis.usage) ->
+          Format.fprintf ppf "  %-10s %10.2f %10.2f@." u.Analysis.u_class
+            u.Analysis.u_mean u.Analysis.u_peak)
+        p.Analysis.p_usage;
+      match p.Analysis.p_path with
+      | None -> ()
+      | Some cp ->
+        let covered =
+          List.fold_left
+            (fun acc (s : Analysis.step) ->
+              acc +. (s.Analysis.s_finish -. s.Analysis.s_start))
+            0.0 cp.Analysis.cp_steps
+        in
+        Format.fprintf ppf "  critical path: %d part%s, %.0f%% of elapsed@."
+          (List.length cp.Analysis.cp_steps)
+          (if List.length cp.Analysis.cp_steps = 1 then "" else "s")
+          (if p.Analysis.p_elapsed > 0.0 then
+             100.0 *. covered /. p.Analysis.p_elapsed
+           else 0.0);
+        List.iter
+          (fun (s : Analysis.step) ->
+            let secs =
+              List.filter_map
+                (fun (cls, v) ->
+                  if v > 0.0 then Some (Printf.sprintf "%s %.2f s" cls v)
+                  else None)
+                s.Analysis.s_seconds
+            in
+            Format.fprintf ppf "    part %d on drive %d: %8.2f .. %8.2f s  [%s]@."
+              s.Analysis.s_part s.Analysis.s_drive s.Analysis.s_start
+              s.Analysis.s_finish (String.concat ", " secs))
+          cp.Analysis.cp_steps;
+        Format.fprintf ppf "  critical-path resource seconds (%% of elapsed):@.";
+        List.iter
+          (fun ((cls, v), (_, pct)) ->
+            if v > 0.0 then
+              Format.fprintf ppf "    %-10s %10.2f s  (%.0f%%)@." cls v pct)
+          (List.combine cp.Analysis.cp_seconds cp.Analysis.cp_pct))
+    r.Analysis.phases;
+  hline ppf 72

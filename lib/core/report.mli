@@ -38,3 +38,9 @@ val faults :
     and the journal itself. With [obs] the counts are read from that
     plane's metrics registry ([fault.*], [raid.media_repairs]);
     otherwise they are folded from the fault journal. *)
+
+val bottleneck : Format.formatter -> Repro_obs.Analysis.report -> unit
+(** The trace-analysis verdict ([backupctl analyze]): per phase, the
+    limiting resource class with its mean/peak busy fractions, and the
+    critical path — which parts the elapsed time flowed through and the
+    per-resource seconds along it. See [docs/OBSERVABILITY.md] §7. *)

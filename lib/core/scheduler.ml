@@ -31,7 +31,8 @@ type 'a flight = {
   mutable f_remaining : float;
 }
 
-let run ?(fatal = fun _ -> false) ?max_active ?on_complete ~drives jobs =
+let run ?(fatal = fun _ -> false) ?max_active ?on_complete ?on_interval ~drives
+    jobs =
   if drives = [] then invalid_arg "Scheduler.run: empty drive pool";
   let seen = Hashtbl.create 8 in
   List.iter
@@ -148,6 +149,28 @@ let run ?(fatal = fun _ -> false) ?max_active ?on_complete ~drives jobs =
       let dt = Float.max dt 0.0 in
       Sim.schedule_in sim dt (fun () ->
           let now = Sim.now sim in
+          (* Report the interval that just elapsed: each resource key's
+             utilization is the service it delivered per second,
+             summed over the in-flight set at the solved rates. *)
+          (match on_interval with
+          | Some h when dt > 0.0 ->
+            let utils = Hashtbl.create 8 in
+            List.iteri
+              (fun i f ->
+                List.iter
+                  (fun (key, work) ->
+                    let cur =
+                      match Hashtbl.find_opt utils key with
+                      | Some u -> u
+                      | None -> 0.0
+                    in
+                    Hashtbl.replace utils key (cur +. (rates.(i) *. work)))
+                  f.f_demands)
+              flights;
+            h ~t0:(now -. dt) ~t1:now
+              (List.sort compare
+                 (Hashtbl.fold (fun k u acc -> (k, u) :: acc) utils []))
+          | Some _ | None -> ());
           List.iteri
             (fun i f -> f.f_remaining <- f.f_remaining -. (rates.(i) *. dt))
             flights;

@@ -57,6 +57,7 @@ val run :
   ?fatal:(exn -> bool) ->
   ?max_active:int ->
   ?on_complete:(int -> 'a completion -> unit) ->
+  ?on_interval:(t0:float -> t1:float -> (string * float) list -> unit) ->
   drives:int list ->
   'a job list ->
   'a outcome array * stats
@@ -68,6 +69,13 @@ val run :
 
     [on_complete i c] fires at [c.finished] in simulated-time order — the
     hook the engine uses for per-part checkpointing.
+
+    [on_interval ~t0 ~t1 utils] fires once per inter-event interval of the
+    schedule with each resource key's utilization over [[t0, t1)] — the
+    service delivered per second at the solved fair-share rates, summed
+    over the in-flight set (at most 1.0 per unit-capacity resource). The
+    hook the engine uses to record utilization timelines
+    ({!Repro_obs.Analysis.sampler}).
 
     Failure during [execute]: if [fatal e] (default: never) the drive is
     removed from the pool and the remaining queue drains on the survivors —

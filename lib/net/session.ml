@@ -289,6 +289,11 @@ let close_stream st =
   Obs.set_gauge
     (Printf.sprintf "net.%s.peak_in_flight" st.st.s_host)
     (Float.of_int st.peak_in_flight);
+  (* One point per stream on the link's busy-fraction timeline: goodput
+     achieved over this transfer relative to the raw line rate. *)
+  Obs.sample
+    (Printf.sprintf "net.util.%s" st.st.s_host)
+    (Float.min 1.0 (goodput /. (Link.params_of st.st.s_link).Link.bandwidth_bytes_s));
   Obs.span_end st.span
     ~attrs:
       [

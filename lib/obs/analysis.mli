@@ -1,0 +1,118 @@
+(** Trace analysis: critical path, bottleneck attribution, and resource
+    timelines.
+
+    The obs plane records everything needed to diagnose {e why} a run
+    took as long as it did — per-part demand vectors, the drive-pool
+    schedule, per-resource utilization timelines — but a trace is raw
+    evidence. This module turns a recorded plane into the diagnosis the
+    source paper draws from its tables: which resource gated the run
+    (logical dump at four drives saturates the disks; image dump stays
+    tape-limited), through which parts the elapsed time flowed, and what
+    each device was doing when.
+
+    Like everything in the plane, analysis is a pure function of the
+    recorded trace: identical seeds yield byte-identical reports
+    (property-tested in [test/test_analysis.ml]).
+
+    See [docs/OBSERVABILITY.md] section 7 and [docs/FORMATS.md] section
+    7 for the report JSON. *)
+
+(** {1 Verdicts} *)
+
+type verdict =
+  | Tape_limited
+  | Disk_limited
+  | Cpu_limited
+  | Wire_limited
+  | Balanced
+      (** No single resource class dominates: the top mean utilization is
+          below the attribution threshold, or within the margin of the
+          runner-up. *)
+
+val verdict_to_string : verdict -> string
+(** ["tape-limited"], ["disk-limited"], ["cpu-limited"],
+    ["wire-limited"], ["balanced"]. *)
+
+(** {1 The report} *)
+
+type usage = {
+  u_class : string;  (** ["tape"], ["disk"], ["cpu"] or ["wire"] *)
+  u_mean : float;  (** mean busy fraction over the phase *)
+  u_peak : float;  (** peak sampled busy fraction *)
+}
+
+type step = {
+  s_part : int;  (** 1-based part number *)
+  s_drive : int;
+  s_start : float;  (** admission, simulated seconds on the schedule *)
+  s_finish : float;
+  s_seconds : (string * float) list;
+      (** per-resource-class seconds demanded by this part: ["tape"],
+          ["disk"], ["cpu"], ["wire"], plus ["backoff"] (retry delays
+          recorded inside the part's span) *)
+}
+
+type critical_path = {
+  cp_steps : step list;  (** chronological, first admitted first *)
+  cp_seconds : (string * float) list;
+      (** per-class seconds summed along the path *)
+  cp_pct : (string * float) list;
+      (** the same as percent of phase elapsed *)
+}
+
+type phase = {
+  p_name : string;  (** ["backup"] or ["restore"] *)
+  p_elapsed : float;  (** simulated seconds *)
+  p_verdict : verdict;
+  p_usage : usage list;  (** fixed class order: tape, disk, cpu, wire *)
+  p_path : critical_path option;  (** backup phases only *)
+}
+
+type report = { phases : phase list }
+
+(** {1 Analysis} *)
+
+val analyze : Obs.t -> report
+(** Analyze a recorded plane. A phase appears for each scheduler
+    utilization timeline prefix present ([backup.util.*],
+    [restore.util.*] — recorded by the drive-pool scheduler when it runs
+    under an armed plane). Planes recorded without the scheduler
+    timelines yield an empty report. *)
+
+val critical_path : Obs.t -> critical_path option
+(** The backup-phase critical path alone: starting from the
+    last-finishing part ([scheduler.part_done] instants), walk back
+    through the parts whose completion gated each admission, and charge
+    each step's gating intervals to resource classes from the demand
+    vector its span closed with ([demand:<resource>] attributes) plus
+    recorded retry backoff. [None] when the trace has no completed
+    parts. Exposed separately for unit tests on hand-built span trees. *)
+
+val to_json : report -> string
+(** Deterministic JSON rendering (see [docs/FORMATS.md] section 7):
+    identical reports produce identical bytes. *)
+
+(** {1 Utilization sampling}
+
+    The bridge between the scheduler's fluid timeline and the plane's
+    series: the scheduler reports each inter-event interval's
+    per-resource utilization, the sampler resamples the piecewise
+    constant segments into fixed-width bins and records them via
+    {!Obs.sample} as [<prefix>.util.<resource>] series. *)
+
+type sampler
+
+val sampler : ?bins:int -> ?t0:float -> prefix:string -> unit -> sampler
+(** A fresh sampler. [bins] (default 64) fixed intervals; [t0] (default
+    0) offsets recorded sample times, for schedules that run after a
+    prior phase on the same plane. *)
+
+val sampler_segment :
+  sampler -> t0:float -> t1:float -> (string * float) list -> unit
+(** One scheduler interval [[t0, t1)] (schedule-local seconds) with its
+    per-resource-key utilizations. Per-part suffixes ([net:host#3]) are
+    aggregated by stripping everything from [#]. *)
+
+val sampler_flush : sampler -> unit
+(** Resample the accumulated segments into the fixed bins and record
+    them as series on the armed plane. No-op if nothing was recorded. *)

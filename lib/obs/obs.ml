@@ -26,6 +26,8 @@ type metric =
 
 type open_span = { os_id : int; os_name : string; mutable os_attrs : attr list }
 
+type ser = { mutable pts : (int * float) list (* newest first, ts in us *) }
+
 type t = {
   clock : Clock.t option;
   mutable on : bool;
@@ -36,6 +38,7 @@ type t = {
   mutable stack : open_span list; (* innermost first *)
   mutable unbalanced_ends : int;
   metrics : (string, metric) Hashtbl.t;
+  ser_tbl : (string, ser) Hashtbl.t;
 }
 
 let create ?clock ?(enabled = true) () =
@@ -49,7 +52,41 @@ let create ?clock ?(enabled = true) () =
     stack = [];
     unbalanced_ends = 0;
     metrics = Hashtbl.create 64;
+    ser_tbl = Hashtbl.create 16;
   }
+
+(* Natural (numeric-aware) string order: digit runs compare as numbers,
+   so scheduler.drive2.* sorts before scheduler.drive10.*. Used wherever
+   metric or series names are listed. *)
+let nat_compare a b =
+  let la = String.length a and lb = String.length b in
+  let is_digit c = c >= '0' && c <= '9' in
+  let rec go i j =
+    if i >= la && j >= lb then 0
+    else if i >= la then -1
+    else if j >= lb then 1
+    else
+      let ca = a.[i] and cb = b.[j] in
+      if is_digit ca && is_digit cb then begin
+        let ei = ref i and ej = ref j in
+        while !ei < la && is_digit a.[!ei] do incr ei done;
+        while !ej < lb && is_digit b.[!ej] do incr ej done;
+        (* skip leading zeros (keep one digit so "0" survives) *)
+        let si = ref i and sj = ref j in
+        while !si < !ei - 1 && a.[!si] = '0' do incr si done;
+        while !sj < !ej - 1 && b.[!sj] = '0' do incr sj done;
+        let na = !ei - !si and nb = !ej - !sj in
+        if na <> nb then compare na nb
+        else
+          let c = compare (String.sub a !si na) (String.sub b !sj nb) in
+          if c <> 0 then c
+          else if !ei - i <> !ej - j then compare (!ei - i) (!ej - j)
+          else go !ei !ej
+      end
+      else if ca <> cb then compare ca cb
+      else go (i + 1) (j + 1)
+  in
+  go 0 0
 
 let enable t b = t.on <- b
 
@@ -244,6 +281,23 @@ let io ~op ~device ?(addr = -1) ~bytes dur_s =
     counter_on t (op ^ ".bytes") bytes;
     hist_on t (op ^ ".latency_us") dur
 
+let sample ?at name v =
+  match active () with
+  | None -> ()
+  | Some t ->
+    let ts =
+      match at with Some s -> Float.to_int (s *. 1e6) | None -> now_us t
+    in
+    let s =
+      match Hashtbl.find_opt t.ser_tbl name with
+      | Some s -> s
+      | None ->
+        let s = { pts = [] } in
+        Hashtbl.add t.ser_tbl name s;
+        s
+    in
+    s.pts <- (ts, v) :: s.pts
+
 (* ------------------------------------------------------------------ *)
 (* Inspection                                                          *)
 
@@ -271,6 +325,132 @@ let hist_buckets t name =
     done;
     !acc
   | _ -> []
+
+(* Percentile estimate inside log2 buckets: find the bucket holding the
+   rank, interpolate linearly within [bucket_lo k, bucket_lo (k+1)), and
+   clamp to the exact observed maximum. Bucket 0 (values <= 0) maps to
+   0. Exact for constant distributions; within one bucket otherwise. *)
+let percentile_of buckets n sum vmax q =
+  if n = 0 then 0.0
+  else if
+    (* sum = n * vmax forces every value to equal the max (nothing can
+       exceed it): the distribution is constant, every quantile exact. *)
+    (vmax = 0 || Int.abs vmax <= max_int / n) && sum = n * vmax
+  then Float.of_int vmax
+  else begin
+    let q = Float.max 0.0 (Float.min 1.0 q) in
+    let rank = q *. Float.of_int n in
+    let est = ref (Float.of_int vmax) and cum = ref 0 and k = ref 0 and stop = ref false in
+    while (not !stop) && !k < Array.length buckets do
+      let c = buckets.(!k) in
+      if c > 0 && Float.of_int (!cum + c) >= rank then begin
+        let lo = Float.of_int (bucket_lo !k) in
+        let hi = if !k = 0 then 0.0 else Float.of_int (bucket_lo (!k + 1)) in
+        let frac = (rank -. Float.of_int !cum) /. Float.of_int c in
+        est := lo +. ((hi -. lo) *. frac);
+        stop := true
+      end;
+      cum := !cum + c;
+      incr k
+    done;
+    Float.max 0.0 (Float.min !est (Float.of_int vmax))
+  end
+
+let hist_percentile t name q =
+  match Hashtbl.find_opt t.metrics name with
+  | Some (Histogram h) when h.n > 0 -> Some (percentile_of h.buckets h.n h.sum h.vmax q)
+  | _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* Series                                                              *)
+
+let series_bins = 64
+
+(* Fixed-interval per-device busy-fraction timelines derived from the
+   recorded X (device op) events: the device layers' Obs.io calls are
+   the sampling hook. Retry backoff X events are idle waiting, not
+   device occupancy, so they are excluded. *)
+let device_series t =
+  let xs =
+    List.filter
+      (fun e ->
+        e.ph = X && e.dur > 0
+        && not
+             (String.length e.ev_name >= 6 && String.sub e.ev_name 0 6 = "retry."))
+      (events t)
+  in
+  if xs = [] then []
+  else begin
+    let tend =
+      List.fold_left (fun acc e -> Stdlib.max acc (e.ts + e.dur)) 0 xs
+    in
+    if tend <= 0 then []
+    else begin
+      let w = Float.of_int tend /. Float.of_int series_bins in
+      let tbl = Hashtbl.create 8 in
+      List.iter
+        (fun e ->
+          let device =
+            match List.assoc_opt "device" e.attrs with
+            | Some (Str d) -> d
+            | _ -> "unknown"
+          in
+          let arr =
+            match Hashtbl.find_opt tbl device with
+            | Some a -> a
+            | None ->
+              let a = Array.make series_bins 0.0 in
+              Hashtbl.add tbl device a;
+              a
+          in
+          let t0 = Float.of_int e.ts and t1 = Float.of_int (e.ts + e.dur) in
+          let b0 = Stdlib.max 0 (Float.to_int (t0 /. w))
+          and b1 =
+            Stdlib.min (series_bins - 1) (Float.to_int ((t1 -. 1e-9) /. w))
+          in
+          for bin = b0 to b1 do
+            let lo = w *. Float.of_int bin and hi = w *. Float.of_int (bin + 1) in
+            let ov = Float.min hi t1 -. Float.max lo t0 in
+            if ov > 0.0 then arr.(bin) <- arr.(bin) +. ov
+          done)
+        xs;
+      Hashtbl.fold
+        (fun device arr acc ->
+          let pts =
+            Array.to_list
+              (Array.mapi
+                 (fun bin busy ->
+                   (w *. Float.of_int bin /. 1e6, Float.min 1.0 (busy /. w)))
+                 arr)
+          in
+          (Printf.sprintf "dev.%s.busy" device, pts) :: acc)
+        tbl []
+      |> List.sort (fun (a, _) (b, _) -> nat_compare a b)
+    end
+  end
+
+let recorded_series t =
+  Hashtbl.fold
+    (fun name s acc ->
+      ( name,
+        List.rev_map (fun (ts, v) -> (Float.of_int ts /. 1e6, v)) s.pts )
+      :: acc)
+    t.ser_tbl []
+  |> List.sort (fun (a, _) (b, _) -> nat_compare a b)
+
+let all_series t =
+  List.sort
+    (fun (a, _) (b, _) -> nat_compare a b)
+    (recorded_series t @ device_series t)
+
+let series t name =
+  match List.assoc_opt name (recorded_series t) with
+  | Some pts -> pts
+  | None -> ( match List.assoc_opt name (device_series t) with
+    | Some pts -> pts
+    | None -> [])
+
+let series_names t = List.map fst (all_series t)
 
 (* ------------------------------------------------------------------ *)
 (* Export                                                              *)
@@ -312,14 +492,74 @@ let args_json b extra attrs =
   List.iter field attrs;
   Buffer.add_string b "}"
 
+(* Lane (Perfetto thread track) assignment: a span carrying a [drive]
+   attr gets a per-drive lane, else a nonempty [host] attr a per-host
+   lane, else it inherits its parent's lane; instants and device ops
+   render on their enclosing span's lane. Tids are dense, assigned in
+   first-appearance order with "main" as tid 1, and named via
+   [thread_name] metadata events. *)
+let assign_lanes evs =
+  let lane_tid = Hashtbl.create 8 in
+  let lane_order = ref [] in
+  let tid_of lane =
+    match Hashtbl.find_opt lane_tid lane with
+    | Some id -> id
+    | None ->
+      let id = Hashtbl.length lane_tid + 1 in
+      Hashtbl.add lane_tid lane id;
+      lane_order := lane :: !lane_order;
+      id
+  in
+  ignore (tid_of "main");
+  let span_lane = Hashtbl.create 64 in
+  let tids =
+    List.map
+      (fun ev ->
+        match ev.ph with
+        | B ->
+          let inherited =
+            match Hashtbl.find_opt span_lane ev.parent with
+            | Some l -> l
+            | None -> "main"
+          in
+          let lane =
+            match List.assoc_opt "drive" ev.attrs with
+            | Some (Int d) -> Printf.sprintf "drive %d" d
+            | _ -> (
+              match List.assoc_opt "host" ev.attrs with
+              | Some (Str h) when h <> "" -> "host " ^ h
+              | _ -> inherited)
+          in
+          Hashtbl.replace span_lane ev.span lane;
+          tid_of lane
+        | E | I | X -> (
+          match Hashtbl.find_opt span_lane ev.span with
+          | Some l -> tid_of l
+          | None -> tid_of "main"))
+      evs
+  in
+  (List.rev !lane_order, tids)
+
 let chrome_trace t =
   let b = Buffer.create 4096 in
   Buffer.add_string b "{\"traceEvents\":[\n";
   let first = ref true in
-  List.iter
-    (fun ev ->
-      if not !first then Buffer.add_string b ",\n";
-      first := false;
+  let emit line =
+    if not !first then Buffer.add_string b ",\n";
+    first := false;
+    Buffer.add_string b line
+  in
+  let evs = events t in
+  let lanes, tids = assign_lanes evs in
+  List.iteri
+    (fun tid0 lane ->
+      emit
+        (Printf.sprintf
+           "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":%d,\"args\":{\"name\":\"%s\"}}"
+           (tid0 + 1) (json_escape lane)))
+    lanes;
+  List.iter2
+    (fun ev tid ->
       let ph, extra =
         match ev.ph with
         | B -> ("B", [ ("span", Int ev.span); ("parent", Int ev.parent) ])
@@ -327,21 +567,36 @@ let chrome_trace t =
         | I -> ("i", [ ("span", Int ev.span) ])
         | X -> ("X", [ ("span", Int ev.span) ])
       in
-      Buffer.add_string b
-        (Printf.sprintf "{\"name\":\"%s\",\"ph\":\"%s\",\"pid\":1,\"tid\":1,\"ts\":%d"
-           (json_escape ev.ev_name) ph ev.ts);
-      if ev.ph = X then Buffer.add_string b (Printf.sprintf ",\"dur\":%d" ev.dur);
-      if ev.ph = I then Buffer.add_string b ",\"s\":\"t\"";
-      Buffer.add_string b ",\"args\":";
-      args_json b extra ev.attrs;
-      Buffer.add_string b "}")
-    (events t);
+      let line = Buffer.create 128 in
+      Buffer.add_string line
+        (Printf.sprintf "{\"name\":\"%s\",\"ph\":\"%s\",\"pid\":1,\"tid\":%d,\"ts\":%d"
+           (json_escape ev.ev_name) ph tid ev.ts);
+      if ev.ph = X then Buffer.add_string line (Printf.sprintf ",\"dur\":%d" ev.dur);
+      if ev.ph = I then Buffer.add_string line ",\"s\":\"t\"";
+      Buffer.add_string line ",\"args\":";
+      args_json line extra ev.attrs;
+      Buffer.add_string line "}";
+      emit (Buffer.contents line))
+    evs tids;
+  (* Utilization and busy-fraction timelines as Perfetto counter tracks. *)
+  List.iter
+    (fun (name, pts) ->
+      List.iter
+        (fun (ts_s, v) ->
+          emit
+            (Printf.sprintf
+               "{\"name\":\"%s\",\"ph\":\"C\",\"pid\":1,\"tid\":0,\"ts\":%d,\"args\":{\"value\":%s}}"
+               (json_escape name)
+               (Float.to_int (ts_s *. 1e6))
+               (value_json (Float v))))
+        pts)
+    (all_series t);
   Buffer.add_string b "\n],\"displayTimeUnit\":\"ms\",\"otherData\":{\"generator\":\"backup_repro obs\"}}\n";
   Buffer.contents b
 
 let sorted_metrics t =
   List.sort
-    (fun (a, _) (b, _) -> compare a b)
+    (fun (a, _) (b, _) -> nat_compare a b)
     (Hashtbl.fold (fun name m acc -> (name, m) :: acc) t.metrics [])
 
 let metrics_jsonl t =
@@ -359,11 +614,15 @@ let metrics_jsonl t =
              (json_escape name)
              (value_json (Float g.g)))
       | Histogram h ->
+        let pct q =
+          if h.n = 0 then "0" else value_json (Float (percentile_of h.buckets h.n h.sum h.vmax q))
+        in
         Buffer.add_string b
           (Printf.sprintf
-             "{\"name\":\"%s\",\"type\":\"histogram\",\"count\":%d,\"sum\":%d,\"max\":%d,\"buckets\":["
+             "{\"name\":\"%s\",\"type\":\"histogram\",\"count\":%d,\"sum\":%d,\"max\":%d,\"p50\":%s,\"p95\":%s,\"p99\":%s,\"buckets\":["
              (json_escape name) h.n h.sum
-             (if h.n = 0 then 0 else h.vmax));
+             (if h.n = 0 then 0 else h.vmax)
+             (pct 0.5) (pct 0.95) (pct 0.99));
         let first = ref true in
         Array.iteri
           (fun k c ->
@@ -378,6 +637,25 @@ let metrics_jsonl t =
     (sorted_metrics t);
   Buffer.contents b
 
+let series_jsonl t =
+  let b = Buffer.create 1024 in
+  List.iter
+    (fun (name, pts) ->
+      Buffer.add_string b
+        (Printf.sprintf "{\"name\":\"%s\",\"type\":\"series\",\"points\":["
+           (json_escape name));
+      let first = ref true in
+      List.iter
+        (fun (ts_s, v) ->
+          if not !first then Buffer.add_string b ",";
+          first := false;
+          Buffer.add_string b
+            (Printf.sprintf "[%s,%s]" (value_json (Float ts_s)) (value_json (Float v))))
+        pts;
+      Buffer.add_string b "]}\n")
+    (all_series t);
+  Buffer.contents b
+
 let pp_summary ppf t =
   let spans = List.length (List.filter (fun e -> e.ph = B) (events t)) in
   Format.fprintf ppf "obs plane: %d events (%d spans), %d open, %d unbalanced ends@."
@@ -389,7 +667,17 @@ let pp_summary ppf t =
         | Counter c -> ((name, c.total) :: cs, gs, hs)
         | Gauge g -> (cs, (name, g.g) :: gs, hs)
         | Histogram h ->
-          (cs, gs, (name, (h.n, h.sum, if h.n = 0 then 0 else h.vmax)) :: hs))
+          let pct q = if h.n = 0 then 0.0 else percentile_of h.buckets h.n h.sum h.vmax q in
+          ( cs,
+            gs,
+            ( name,
+              ( h.n,
+                h.sum,
+                (if h.n = 0 then 0 else h.vmax),
+                pct 0.5,
+                pct 0.95,
+                pct 0.99 ) )
+            :: hs ))
       ([], [], []) (sorted_metrics t)
   in
   if counters <> [] then begin
@@ -405,9 +693,11 @@ let pp_summary ppf t =
       (List.rev gauges)
   end;
   if hists <> [] then begin
-    Format.fprintf ppf "histograms: %-20s %8s %14s %12s@." "" "count" "sum" "max";
+    Format.fprintf ppf "histograms: %-20s %8s %14s %12s %10s %10s %10s@." ""
+      "count" "sum" "max" "p50" "p95" "p99";
     List.iter
-      (fun (name, (n, sum, vmax)) ->
-        Format.fprintf ppf "  %-30s %8d %14d %12d@." name n sum vmax)
+      (fun (name, (n, sum, vmax, p50, p95, p99)) ->
+        Format.fprintf ppf "  %-30s %8d %14d %12d %10.0f %10.0f %10.0f@." name n
+          sum vmax p50 p95 p99)
       (List.rev hists)
   end

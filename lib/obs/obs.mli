@@ -105,6 +105,14 @@ val advance : float -> unit
     event (e.g. retry backoff charged to an engine clock the plane is
     not attached to). *)
 
+val sample : ?at:float -> string -> float -> unit
+(** [sample name v] appends one point to the named time series at the
+    virtual now, or at [at] simulated seconds when given (e.g. points on
+    a scheduler's own timeline). Series feed {!series_jsonl} and render
+    as Perfetto counter tracks in {!chrome_trace}; the scheduler records
+    per-resource utilization timelines through this hook
+    ({!Analysis.sampler}). *)
+
 (** {1 Metrics} (ambient, like spans) *)
 
 val count : string -> int -> unit
@@ -156,13 +164,45 @@ val hist_stats : t -> string -> (int * int * int) option
 val hist_buckets : t -> string -> (int * int) list
 (** Nonzero [(bucket, count)] pairs, ascending. *)
 
+val hist_percentile : t -> string -> float -> float option
+(** [hist_percentile t name q] (with [q] in [[0, 1]]) estimates the
+    [q]-quantile of a histogram by linear interpolation inside its log2
+    bucket, clamped to the exact observed maximum — exact for constant
+    distributions, within one bucket otherwise. [None] if the metric is
+    absent, empty, or not a histogram. *)
+
+val nat_compare : string -> string -> int
+(** Natural (numeric-aware) string order: digit runs compare as numbers,
+    so ["drive2"] sorts before ["drive10"]. All listings of metric and
+    series names use this order. *)
+
+val series : t -> string -> (float * float) list
+(** Points of a time series as [(simulated seconds, value)], in
+    recording order. Besides series recorded via {!sample}, per-device
+    busy-fraction timelines derived from the recorded device ops are
+    available under [dev.<device>.busy]. Empty if the name is unknown. *)
+
+val series_names : t -> string list
+(** All series (recorded and derived), in {!nat_compare} order. *)
+
 val chrome_trace : t -> string
 (** The plane as a Chrome [trace_event] JSON object
     ([{"traceEvents":[...]}]). Spans become B/E pairs, instants [i],
-    device ops [X]; every event's [args] carry its span id. *)
+    device ops [X]; every event's [args] carry its span id. Spans with a
+    [drive] (or nonempty [host]) attribute land on their own thread
+    track — named via [thread_name] metadata — so multi-drive runs
+    render as parallel lanes; time series render as [C] counter
+    tracks. *)
 
 val metrics_jsonl : t -> string
-(** One JSON object per line, one line per metric, sorted by name. *)
+(** One JSON object per line, one line per metric, in {!nat_compare}
+    order. Histogram lines carry estimated [p50]/[p95]/[p99]. *)
+
+val series_jsonl : t -> string
+(** One JSON object per line, one line per series (recorded and
+    derived), in {!nat_compare} order:
+    [{"name":...,"type":"series","points":[[t_s,v],...]}]. *)
 
 val pp_summary : Format.formatter -> t -> unit
-(** Human table: span and event totals, counters, gauges, histograms. *)
+(** Human table: span and event totals, counters, gauges, histograms
+    (with estimated percentiles). *)

@@ -1,0 +1,381 @@
+(* Tests for the trace-analysis plane: critical-path extraction on
+   hand-built span trees (chained and parallel schedules, same-drive
+   preference, abandoned and error part spans, retry backoff
+   attribution), the bottleneck classifier on hand-built utilization
+   series, a golden test for the human report rendering, and the qcheck
+   property that identical seeds yield byte-identical analysis
+   reports. *)
+
+module Obs = Repro_obs.Obs
+module Analysis = Repro_obs.Analysis
+module Volume = Repro_block.Volume
+module Library = Repro_tape.Library
+module Fs = Repro_wafl.Fs
+module Strategy = Repro_backup.Strategy
+module Engine = Repro_backup.Engine
+module Report = Repro_backup.Report
+module Clock = Repro_sim.Clock
+module Generator = Repro_workload.Generator
+
+let checki = Alcotest.(check int)
+let checkb = Alcotest.(check bool)
+let checks = Alcotest.(check string)
+let checkf = Alcotest.(check (float 1e-9))
+
+let seconds cls (s : Analysis.step) =
+  Option.value ~default:nan (List.assoc_opt cls s.Analysis.s_seconds)
+
+(* ----------------------- hand-built span trees ----------------------- *)
+
+(* One completed part, exactly as the engine records it: a "part" span
+   closed with its demand vector, and the scheduler's part_done instant
+   carrying the schedule interval. *)
+let emit_part ?(demands = []) ~part ~drive ~start ~finish () =
+  let sp =
+    Obs.span_begin "part" ~attrs:[ ("part", Obs.Int part); ("drive", Obs.Int drive) ]
+  in
+  Obs.span_end sp
+    ~attrs:(List.map (fun (k, v) -> ("demand:" ^ k, Obs.Float v)) demands);
+  Obs.instant "scheduler.part_done"
+    ~attrs:
+      [
+        ("part", Obs.Int part);
+        ("drive", Obs.Int drive);
+        ("sim_start_s", Obs.Float start);
+        ("sim_finish_s", Obs.Float finish);
+      ]
+
+let test_empty_plane () =
+  let p = Obs.create () in
+  Obs.with_armed p (fun () -> Obs.instant "unrelated");
+  checkb "no parts -> no path" true (Analysis.critical_path p = None);
+  let r = Analysis.analyze p in
+  checki "no phases" 0 (List.length r.Analysis.phases);
+  checks "empty report JSON" "{\"analysis\":\"v1\",\"phases\":[]}\n"
+    (Analysis.to_json r)
+
+let test_single_part () =
+  let p = Obs.create () in
+  Obs.with_armed p (fun () ->
+      emit_part ~part:1 ~drive:0 ~start:0.0 ~finish:2.0
+        ~demands:[ ("tape:S0", 1.5); ("disk:src", 0.4); ("cpu", 0.1) ]
+        ());
+  match Analysis.critical_path p with
+  | None -> Alcotest.fail "no critical path"
+  | Some cp ->
+    checki "one step" 1 (List.length cp.Analysis.cp_steps);
+    let s = List.hd cp.Analysis.cp_steps in
+    checki "part" 1 s.Analysis.s_part;
+    checki "drive" 0 s.Analysis.s_drive;
+    checkf "tape seconds" 1.5 (seconds "tape" s);
+    checkf "disk seconds" 0.4 (seconds "disk" s);
+    checkf "cpu seconds" 0.1 (seconds "cpu" s);
+    checkf "no wire" 0.0 (seconds "wire" s);
+    checkf "no backoff" 0.0 (seconds "backoff" s);
+    checkf "path tape total" 1.5 (List.assoc "tape" cp.Analysis.cp_seconds);
+    (* percentages are of the last finish (2 s) *)
+    checkf "tape pct" 75.0 (List.assoc "tape" cp.Analysis.cp_pct)
+
+(* A single-drive chain gated by slot release, with a parallel part on
+   another drive that also finishes at an admission instant: the walk
+   must prefer the same-drive predecessor and never pick the bystander. *)
+let test_chained_schedule () =
+  let p = Obs.create () in
+  Obs.with_armed p (fun () ->
+      emit_part ~part:1 ~drive:0 ~start:0.0 ~finish:2.0
+        ~demands:[ ("tape:S0", 1.8) ] ();
+      emit_part ~part:4 ~drive:1 ~start:0.0 ~finish:2.0
+        ~demands:[ ("tape:S1", 1.9) ] ();
+      emit_part ~part:2 ~drive:0 ~start:2.0 ~finish:5.0
+        ~demands:[ ("tape:S0", 2.5) ] ();
+      emit_part ~part:3 ~drive:0 ~start:5.0 ~finish:9.0
+        ~demands:[ ("tape:S0", 3.5); ("disk:src", 0.5) ] ());
+  match Analysis.critical_path p with
+  | None -> Alcotest.fail "no critical path"
+  | Some cp ->
+    Alcotest.(check (list int))
+      "chronological chain on drive 0" [ 1; 2; 3 ]
+      (List.map (fun s -> s.Analysis.s_part) cp.Analysis.cp_steps);
+    checkf "tape along the path" (1.8 +. 2.5 +. 3.5)
+      (List.assoc "tape" cp.Analysis.cp_seconds);
+    checkf "disk along the path" 0.5 (List.assoc "disk" cp.Analysis.cp_seconds)
+
+let test_parallel_schedule () =
+  let p = Obs.create () in
+  Obs.with_armed p (fun () ->
+      for i = 1 to 4 do
+        emit_part ~part:i ~drive:(i - 1) ~start:0.0
+          ~finish:(1.0 +. (0.5 *. Float.of_int i))
+          ~demands:[ (Printf.sprintf "tape:S%d" (i - 1), 1.0) ]
+          ()
+      done);
+  match Analysis.critical_path p with
+  | None -> Alcotest.fail "no critical path"
+  | Some cp ->
+    (* everything admitted at t=0: the path is just the last finisher *)
+    checki "one step" 1 (List.length cp.Analysis.cp_steps);
+    checki "last finisher" 4 (List.hd cp.Analysis.cp_steps).Analysis.s_part
+
+(* Abandoned and error part spans close without a demand vector; the
+   path must still build, with zero resource seconds for those steps. *)
+let test_abandoned_and_error_spans () =
+  let p = Obs.create () in
+  Obs.with_armed p (fun () ->
+      (* part 1's span is closed implicitly (abandoned) by its parent *)
+      let outer = Obs.span_begin "engine.backup" in
+      let _inner =
+        Obs.span_begin "part" ~attrs:[ ("part", Obs.Int 1); ("drive", Obs.Int 0) ]
+      in
+      Obs.span_end outer;
+      Obs.instant "scheduler.part_done"
+        ~attrs:
+          [
+            ("part", Obs.Int 1);
+            ("drive", Obs.Int 0);
+            ("sim_start_s", Obs.Float 0.0);
+            ("sim_finish_s", Obs.Float 1.0);
+          ];
+      (* part 2's span closes with an error attribute *)
+      (try
+         Obs.with_span "part"
+           ~attrs:[ ("part", Obs.Int 2); ("drive", Obs.Int 0) ]
+           (fun () -> failwith "boom")
+       with Failure _ -> ());
+      Obs.instant "scheduler.part_done"
+        ~attrs:
+          [
+            ("part", Obs.Int 2);
+            ("drive", Obs.Int 0);
+            ("sim_start_s", Obs.Float 1.0);
+            ("sim_finish_s", Obs.Float 3.0);
+          ]);
+  match Analysis.critical_path p with
+  | None -> Alcotest.fail "no critical path"
+  | Some cp ->
+    Alcotest.(check (list int))
+      "both parts on the path" [ 1; 2 ]
+      (List.map (fun s -> s.Analysis.s_part) cp.Analysis.cp_steps);
+    List.iter
+      (fun s ->
+        List.iter
+          (fun (_, v) -> checkf "no demands recorded" 0.0 v)
+          s.Analysis.s_seconds)
+      cp.Analysis.cp_steps
+
+(* Retry backoff recorded anywhere inside the part's span tree is
+   charged to the step's backoff seconds. *)
+let test_backoff_attribution () =
+  let p = Obs.create () in
+  Obs.with_armed p (fun () ->
+      let sp =
+        Obs.span_begin "part" ~attrs:[ ("part", Obs.Int 1); ("drive", Obs.Int 0) ]
+      in
+      Obs.with_span "attempt" (fun () ->
+          Obs.io ~op:"retry.backoff" ~device:"S0" ~bytes:0 0.25);
+      Obs.span_end sp ~attrs:[ ("demand:tape:S0", Obs.Float 1.0) ];
+      Obs.instant "scheduler.part_done"
+        ~attrs:
+          [
+            ("part", Obs.Int 1);
+            ("drive", Obs.Int 0);
+            ("sim_start_s", Obs.Float 0.0);
+            ("sim_finish_s", Obs.Float 1.5);
+          ]);
+  match Analysis.critical_path p with
+  | None -> Alcotest.fail "no critical path"
+  | Some cp ->
+    let s = List.hd cp.Analysis.cp_steps in
+    checkf "backoff charged" 0.25 (seconds "backoff" s);
+    checkf "tape demand kept" 1.0 (seconds "tape" s)
+
+(* A remote part's demand vector carries both net:host#k (wire elapsed)
+   and link:host (line busy) for the same transfer: only the elapsed
+   counts, or the wire would be double counted. *)
+let test_wire_not_double_counted () =
+  let p = Obs.create () in
+  Obs.with_armed p (fun () ->
+      emit_part ~part:1 ~drive:0 ~start:0.0 ~finish:2.0
+        ~demands:[ ("net:vault#1", 1.2); ("link:vault", 0.9); ("tape:S0", 0.8) ]
+        ());
+  match Analysis.critical_path p with
+  | None -> Alcotest.fail "no critical path"
+  | Some cp ->
+    checkf "wire = net elapsed only" 1.2
+      (seconds "wire" (List.hd cp.Analysis.cp_steps))
+
+(* --------------------------- the classifier -------------------------- *)
+
+(* Build a plane holding only utilization series and check the verdict. *)
+let plane_with_series series =
+  let p = Obs.create () in
+  Obs.with_armed p (fun () ->
+      List.iter
+        (fun (name, values) ->
+          List.iteri
+            (fun i v -> Obs.sample ~at:(0.1 *. Float.of_int i) name v)
+            values)
+        series);
+  p
+
+let verdict_of series =
+  match (Analysis.analyze (plane_with_series series)).Analysis.phases with
+  | [ ph ] -> ph.Analysis.p_verdict
+  | phases -> Alcotest.failf "expected one phase, got %d" (List.length phases)
+
+let test_classifier_verdicts () =
+  let flat v = [ v; v; v; v ] in
+  checkb "saturated disk wins" true
+    (verdict_of
+       [
+         ("backup.util.disk:src", flat 1.0);
+         ("backup.util.tape:S0", flat 0.6);
+         ("backup.util.tape:S1", flat 0.6);
+       ]
+    = Analysis.Disk_limited);
+  checkb "saturated tape wins" true
+    (verdict_of
+       [ ("backup.util.tape:S0", flat 0.95); ("backup.util.disk:src", flat 0.2) ]
+    = Analysis.Tape_limited);
+  checkb "saturated wire wins" true
+    (verdict_of
+       [ ("backup.util.net:vault", flat 0.9); ("backup.util.tape:S0", flat 0.5) ]
+    = Analysis.Wire_limited);
+  (* tape is a pool: the class mean averages the drives, so a half-idle
+     pool does not read as tape-limited *)
+  checkb "half-idle tape pool is not the bottleneck" true
+    (verdict_of
+       [
+         ("backup.util.tape:S0", flat 1.0);
+         ("backup.util.tape:S1", flat 0.0);
+         ("backup.util.disk:src", flat 0.2);
+       ]
+    = Analysis.Balanced);
+  (* below the attribution threshold: nothing dominates *)
+  checkb "low everything is balanced" true
+    (verdict_of
+       [ ("backup.util.tape:S0", flat 0.5); ("backup.util.disk:src", flat 0.4) ]
+    = Analysis.Balanced);
+  (* above the threshold but within the margin of the runner-up *)
+  checkb "close race is balanced" true
+    (verdict_of
+       [ ("backup.util.disk:src", flat 0.85); ("backup.util.tape:S0", flat 0.80) ]
+    = Analysis.Balanced)
+
+let test_usage_shape () =
+  let p =
+    plane_with_series
+      [
+        ("backup.util.tape:S0", [ 1.0; 0.5 ]);
+        ("backup.util.tape:S1", [ 0.5; 0.0 ]);
+        ("backup.util.disk:src", [ 0.3; 0.7 ]);
+        ("backup.util.cpu", [ 0.1; 0.1 ]);
+      ]
+  in
+  match (Analysis.analyze p).Analysis.phases with
+  | [ ph ] ->
+    checks "phase name" "backup" ph.Analysis.p_name;
+    Alcotest.(check (list string))
+      "fixed class order" [ "tape"; "disk"; "cpu" ]
+      (List.map (fun u -> u.Analysis.u_class) ph.Analysis.p_usage);
+    let u cls =
+      List.find (fun u -> u.Analysis.u_class = cls) ph.Analysis.p_usage
+    in
+    checkf "tape mean averages the pool" 0.5 (u "tape").Analysis.u_mean;
+    checkf "tape peak" 1.0 (u "tape").Analysis.u_peak;
+    checkf "disk mean" 0.5 (u "disk").Analysis.u_mean;
+    checkf "disk peak" 0.7 (u "disk").Analysis.u_peak;
+    (* no scheduler, no engine span: elapsed falls back to last sample *)
+    checkf "elapsed from samples" 0.1 ph.Analysis.p_elapsed
+  | phases -> Alcotest.failf "expected one phase, got %d" (List.length phases)
+
+(* --------------------------- a real backup --------------------------- *)
+
+let make_engine ?clock ?(seed = 7) ?(libraries = 2) () =
+  let vol = Volume.create ~label:"src" (Volume.small_geometry ~data_blocks:16384) in
+  let fs = Fs.mkfs vol in
+  let profile = { Generator.default with seed } in
+  ignore (Generator.populate ~profile ~fs ~root:"/data" ~total_bytes:400_000 ());
+  let libs =
+    List.init libraries (fun i ->
+        Library.create ~slots:16 ~label:(Printf.sprintf "S%d" i) ())
+  in
+  Engine.create ?clock ~fs ~libraries:libs ()
+
+let analyze_run ~seed =
+  let clock = Clock.create () in
+  let eng = make_engine ~clock ~seed () in
+  let obs = Obs.create ~clock () in
+  Obs.with_armed obs (fun () ->
+      ignore
+        (Engine.backup eng ~strategy:Strategy.Logical ~subtree:"/data" ~parts:2
+           ~drives:[ 0; 1 ] ()));
+  Analysis.analyze obs
+
+let test_real_backup_report () =
+  let r = analyze_run ~seed:7 in
+  match r.Analysis.phases with
+  | [ ph ] ->
+    checks "one backup phase" "backup" ph.Analysis.p_name;
+    checkb "elapsed positive" true (ph.Analysis.p_elapsed > 0.0);
+    checkb "tape usage present" true
+      (List.exists (fun u -> u.Analysis.u_class = "tape") ph.Analysis.p_usage);
+    checkb "disk usage present" true
+      (List.exists (fun u -> u.Analysis.u_class = "disk") ph.Analysis.p_usage);
+    (match ph.Analysis.p_path with
+    | None -> Alcotest.fail "backup phase lacks a critical path"
+    | Some cp ->
+      checkb "path has steps" true (cp.Analysis.cp_steps <> []);
+      List.iter
+        (fun s -> checkb "finish after start" true (s.Analysis.s_finish >= s.Analysis.s_start))
+        cp.Analysis.cp_steps)
+  | phases -> Alcotest.failf "expected one phase, got %d" (List.length phases)
+
+(* Golden for the human rendering, the same pattern as cli_help.golden:
+   a fixed-seed run, rendered with Report.bottleneck, pinned byte for
+   byte. *)
+let test_report_matches_golden () =
+  let r = analyze_run ~seed:7 in
+  let actual = Format.asprintf "%a" Report.bottleneck r in
+  let ic = open_in_bin "analysis_report.golden" in
+  let golden = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  if not (String.equal golden actual) then (
+    Format.printf "--- regenerate test/analysis_report.golden with: ---@.%s@." actual;
+    Alcotest.fail "bottleneck report drifted from test/analysis_report.golden")
+
+(* --------------------------- determinism ----------------------------- *)
+
+let prop_identical_seeds_identical_reports =
+  QCheck2.Test.make ~count:4 ~name:"identical seeds yield identical analysis"
+    QCheck2.Gen.(int_range 0 1000)
+    (fun seed ->
+      let j1 = Analysis.to_json (analyze_run ~seed) in
+      let j2 = Analysis.to_json (analyze_run ~seed) in
+      String.equal j1 j2)
+
+let () =
+  Alcotest.run "analysis"
+    [
+      ( "critical-path",
+        [
+          ("empty plane", `Quick, test_empty_plane);
+          ("single part", `Quick, test_single_part);
+          ("chained schedule", `Quick, test_chained_schedule);
+          ("parallel schedule", `Quick, test_parallel_schedule);
+          ("abandoned and error spans", `Quick, test_abandoned_and_error_spans);
+          ("backoff attribution", `Quick, test_backoff_attribution);
+          ("wire not double counted", `Quick, test_wire_not_double_counted);
+        ] );
+      ( "classifier",
+        [
+          ("verdicts", `Quick, test_classifier_verdicts);
+          ("usage shape", `Quick, test_usage_shape);
+        ] );
+      ( "report",
+        [
+          ("real backup", `Quick, test_real_backup_report);
+          ("matches golden", `Quick, test_report_matches_golden);
+        ] );
+      ( "properties",
+        [ QCheck_alcotest.to_alcotest ~long:false prop_identical_seeds_identical_reports ] );
+    ]

@@ -121,6 +121,67 @@ let test_disabled_plane_records_nothing () =
   checki "no counter" 0 (Obs.counter_value p "c");
   checkb "no histogram" true (Obs.hist_stats p "h" = None)
 
+let test_hist_percentiles () =
+  let p = Obs.create () in
+  (* constant distribution: the vmax clamp makes every quantile exact *)
+  Obs.with_armed p (fun () -> List.iter (Obs.hist "c") [ 100; 100; 100; 100 ]);
+  let pct name q =
+    match Obs.hist_percentile p name q with
+    | Some v -> v
+    | None -> Alcotest.fail "percentile missing"
+  in
+  Alcotest.(check (float 1e-9)) "constant p50" 100.0 (pct "c" 0.50);
+  Alcotest.(check (float 1e-9)) "constant p99" 100.0 (pct "c" 0.99);
+  (* values spread over distinct buckets: the estimate lands in the right
+     bucket, and quantiles are monotonic *)
+  Obs.with_armed p (fun () -> List.iter (Obs.hist "s") [ 1; 2; 4; 8; 16; 32; 64; 128 ]);
+  let in_bucket v lo hi = v > lo && v <= hi in
+  checkb "p50 in its bucket" true (in_bucket (pct "s" 0.50) 8.0 16.0);
+  checkb "p95 clamped to max" true (pct "s" 0.95 <= 128.0);
+  checkb "monotonic" true (pct "s" 0.50 <= pct "s" 0.95 && pct "s" 0.95 <= pct "s" 0.99);
+  (* all zeros -> bucket 0 -> 0.0 *)
+  Obs.with_armed p (fun () -> List.iter (Obs.hist "z") [ 0; 0; 0 ]);
+  Alcotest.(check (float 1e-9)) "all-zero p99" 0.0 (pct "z" 0.99);
+  checkb "absent histogram" true (Obs.hist_percentile p "none" 0.5 = None)
+
+let test_nat_compare () =
+  checkb "drive2 before drive10" true (Obs.nat_compare "drive2" "drive10" < 0);
+  checkb "drive10 after drive2" true (Obs.nat_compare "drive10" "drive2" > 0);
+  checkb "equal strings" true (Obs.nat_compare "tape.S3" "tape.S3" = 0);
+  checkb "plain lex still works" true (Obs.nat_compare "apple" "banana" < 0);
+  checkb "digits before longer digits" true (Obs.nat_compare "a9b" "a10b" < 0);
+  checkb "equal values, fewer leading zeros first" true
+    (Obs.nat_compare "a7" "a07" < 0);
+  Alcotest.(check (list string))
+    "sort order"
+    [ "d1"; "d2"; "d10"; "d11"; "e0" ]
+    (List.sort Obs.nat_compare [ "d10"; "d2"; "e0"; "d11"; "d1" ])
+
+let test_series_recording () =
+  let p = Obs.create () in
+  Obs.with_armed p (fun () ->
+      Obs.sample ~at:0.0 "backup.util.cpu" 0.25;
+      Obs.sample ~at:1.0 "backup.util.cpu" 0.75;
+      Obs.io ~op:"tape.write" ~device:"S0" ~bytes:4096 0.5);
+  Alcotest.(check (list (pair (float 1e-9) (float 1e-9))))
+    "recorded points in order"
+    [ (0.0, 0.25); (1.0, 0.75) ]
+    (Obs.series p "backup.util.cpu");
+  (* the device op yields a derived busy timeline *)
+  checkb "derived dev series listed" true
+    (List.mem "dev.S0.busy" (Obs.series_names p));
+  let busy = Obs.series p "dev.S0.busy" in
+  checkb "derived series nonempty" true (busy <> []);
+  checkb "busy fractions in [0,1]" true
+    (List.for_all (fun (_, v) -> v >= 0.0 && v <= 1.0) busy);
+  checkb "device was busy" true (List.exists (fun (_, v) -> v > 0.0) busy);
+  checkb "unknown series empty" true (Obs.series p "nope" = []);
+  (* jsonl carries one line per series *)
+  let jl = Obs.series_jsonl p in
+  checkb "jsonl has the recorded series" true
+    (contains jl "\"name\":\"backup.util.cpu\",\"type\":\"series\"");
+  checkb "jsonl has the derived series" true (contains jl "\"name\":\"dev.S0.busy\"")
+
 (* ------------------------ a real backup trace ------------------------ *)
 
 let make_engine ?clock ?(seed = 1) () =
@@ -187,7 +248,13 @@ let test_backup_trace_structure () =
   checkb "traceEvents array" true (contains json "\"traceEvents\":[");
   checkb "B events" true (contains json "\"ph\":\"B\"");
   checkb "X events" true (contains json "\"ph\":\"X\"");
-  checkb "engine.backup named" true (contains json "\"name\":\"engine.backup\"")
+  checkb "engine.backup named" true (contains json "\"name\":\"engine.backup\"");
+  (* per-drive lanes: thread_name metadata plus a named drive track *)
+  checkb "thread_name metadata" true (contains json "\"ph\":\"M\"");
+  checkb "drive lane named" true (contains json "\"name\":\"drive 0\"");
+  (* the scheduler's utilization timelines render as counter tracks *)
+  checkb "counter events" true (contains json "\"ph\":\"C\"");
+  checkb "utilization series exported" true (contains json "backup.util.")
 
 let test_fault_correlation () =
   let clock = Clock.create () in
@@ -273,7 +340,12 @@ let () =
         [
           ("bucketing edges", `Quick, test_bucket_edges);
           ("recording and stats", `Quick, test_hist_recording);
+          ("percentile estimates", `Quick, test_hist_percentiles);
         ] );
+      ( "naming",
+        [ ("natural metric order", `Quick, test_nat_compare) ] );
+      ( "series",
+        [ ("recorded and derived series", `Quick, test_series_recording) ] );
       ( "spans",
         [
           ("nesting and instants", `Quick, test_span_nesting);
