@@ -850,8 +850,120 @@ let run_analysis () =
   say "  [BENCH_analysis.json written]@.";
   ok
 
+(* ------------------------------------------------------------------ *)
+(* Part 9: disaster recovery                                           *)
+
+(* The DR drill from docs/REPLICATION.md, once over one hop and once
+   over a 3-node cascade: replicate on a schedule, break the topology
+   with a seeded fault storm (a partition mid-incremental; for the
+   cascade, the tail replica's drives die mid-apply too), fail over to
+   the surviving replica, and measure RPO (snapshot lag at failure) and
+   RTO (time to a promoted, fsck-clean mount) from the recorded trace.
+   Then heal, resync every survivor, and verify byte-identity. Gates:
+   finite positive RPO/RTO, every resynced replica verifies, and the
+   trace-derived DR summary is byte-identical across two same-seed
+   runs. Writes BENCH_dr.json. *)
+let run_dr () =
+  say "============================================================";
+  say " Part 9: disaster recovery (RPO/RTO under a fault storm)";
+  say "============================================================@.";
+  let module Repl = Repro_repl.Repl in
+  let module Link = Repro_net.Link in
+  let module Clock = Repro_sim.Clock in
+  let module Analysis = Repro_obs.Analysis in
+  let churn fs i =
+    let path = Printf.sprintf "/data/churn.%d" i in
+    (match Fs.lookup fs path with
+    | Some _ -> ()
+    | None -> ignore (Fs.create fs path ~perms:0o644));
+    Fs.write fs path ~offset:0 (String.make 20_000 (Char.chr (65 + (i mod 26))))
+  in
+  let drill ~cascade () =
+    let clk = Clock.create () in
+    let obs = Obs.create ~clock:clk () in
+    let vol = Volume.create ~label:"A" (Volume.small_geometry ~data_blocks:4096) in
+    let fs = Fs.mkfs vol in
+    let profile = { Generator.default with Generator.seed = 11 } in
+    ignore (Generator.populate ~profile ~fs ~root:"/data" ~total_bytes:400_000 ());
+    let t = Repl.create ~clock:clk ~primary:"A" fs in
+    let params = Link.params ~mtu_bytes:8192 () in
+    Obs.with_armed obs (fun () ->
+        Repl.add_replica t ~upstream:"A" ~name:"B" ~params ~interval_s:60.0 ();
+        if cascade then
+          Repl.add_replica t ~upstream:"B" ~name:"C" ~params ~interval_s:60.0 ();
+        ignore (Repl.run_until t 120.0);
+        churn fs 1;
+        churn fs 2;
+        (* the 180 s incremental is 14 frames on the A→B link; frame 19
+           lands mid-way through the 240 s transfer *)
+        let specs =
+          Fault.Link_partition { device = "B"; after_frames = 18 }
+          ::
+          (if cascade then
+             [
+               Fault.Disk_death { device = "C.rg0.d0"; after_ios = 5 };
+               Fault.Disk_death { device = "C.rg0.d1"; after_ios = 5 };
+             ]
+           else [])
+        in
+        let plane = Fault.plan ~seed:3 specs in
+        let failures = Fault.with_armed plane (fun () -> Repl.run_until t 400.0) in
+        let p = Repl.promote t ~name:"B" in
+        churn (Repl.fs t ~name:"B") 3;
+        ignore (Repl.checkpoint t);
+        Fault.revive plane ~device:"B";
+        if cascade then
+          Array.iter
+            (fun rg ->
+              Array.iter
+                (fun d -> if Disk.failed d then Disk.revive d)
+                (Raid.disks rg))
+            (Volume.raid_groups (Repl.volume t ~name:"C"));
+        let resynced name =
+          ignore (Fault.with_armed plane (fun () -> Repl.resync t ~name));
+          Repl.verify t ~name = Ok ()
+        in
+        let ok_a = resynced "A" in
+        let ok_c = (not cascade) || resynced "C" in
+        let dr =
+          match Analysis.dr obs with
+          | Some d -> d
+          | None -> failwith "no DR summary in the trace"
+        in
+        (List.length failures, p, dr, ok_a && ok_c))
+  in
+  let gate name drill_fn =
+    let failures, p, dr, verified = drill_fn () in
+    let _, _, dr2, _ = drill_fn () in
+    let deterministic = Analysis.dr_to_json dr = Analysis.dr_to_json dr2 in
+    let finite x = Float.is_finite x && x > 0.0 in
+    let ok = verified && finite p.Repl.rpo_s && finite p.Repl.rto_s && deterministic in
+    say
+      "  %-8s  %d storm failures   RPO %6.1f s   RTO %6.3f s   resync \
+       verified: %s   deterministic: %s"
+      name failures p.Repl.rpo_s p.Repl.rto_s
+      (if verified then "yes" else "NO")
+      (if deterministic then "yes" else "NO");
+    (p, verified, deterministic, ok)
+  in
+  let one_p, one_v, one_d, one_ok = gate "one-hop" (drill ~cascade:false) in
+  let cas_p, cas_v, cas_d, cas_ok = gate "cascade" (drill ~cascade:true) in
+  let ok = one_ok && cas_ok in
+  say "  verdict:                     %s@." (if ok then "PASS" else "FAIL");
+  let obj (p : Repl.promotion) v d =
+    Printf.sprintf {|{"rpo_s":%.6g,"rto_s":%.6g,"resync_ok":%b,"deterministic":%b}|}
+      p.Repl.rpo_s p.Repl.rto_s v d
+  in
+  write_file "BENCH_dr.json"
+    (Printf.sprintf
+       {|{"bench":"dr","one_hop":%s,"cascade":%s,"pass":%b}
+|}
+       (obj one_p one_v one_d) (obj cas_p cas_v cas_d) ok);
+  say "  [BENCH_dr.json written]@.";
+  ok
+
 let usage () =
-  say "usage: main [all|tables|ablations|micro|faults|obs|scaling|net|analysis]";
+  say "usage: main [all|tables|ablations|micro|faults|obs|scaling|net|analysis|dr]";
   exit 2
 
 let () =
@@ -866,8 +978,9 @@ let () =
     let scaling_ok = run_scaling () in
     let net_ok = run_net () in
     let analysis_ok = run_analysis () in
+    let dr_ok = run_dr () in
     say "bench: all parts complete.";
-    if not (obs_ok && scaling_ok && net_ok && analysis_ok) then exit 1
+    if not (obs_ok && scaling_ok && net_ok && analysis_ok && dr_ok) then exit 1
   | "tables" -> run_tables ()
   | "ablations" -> run_ablations ()
   | "micro" -> run_microbenchmarks ()
@@ -876,4 +989,5 @@ let () =
   | "scaling" -> if not (run_scaling ()) then exit 1
   | "net" -> if not (run_net ()) then exit 1
   | "analysis" -> if not (run_analysis ()) then exit 1
+  | "dr" -> if not (run_dr ()) then exit 1
   | _ -> usage ()

@@ -23,6 +23,9 @@ module Disk = Repro_block.Disk
 module Obs = Repro_obs.Obs
 module Analysis = Repro_obs.Analysis
 module Link = Repro_net.Link
+module Mirror = Repro_image.Mirror
+module Repl = Repro_repl.Repl
+module Serde = Repro_util.Serde
 
 open Cmdliner
 
@@ -41,6 +44,18 @@ let handle f =
     1
   | Sys_error m ->
     Format.eprintf "error: %s@." m;
+    1
+  | Repl.Error m ->
+    Format.eprintf "error: %s@." m;
+    1
+  | Repl.Snapshot_gap { node; base } ->
+    Format.eprintf
+      "error: replica %s chains from %s, which the source no longer holds; \
+       run mirror resync %s@."
+      node base node;
+    1
+  | Mirror.Error e ->
+    Format.eprintf "error: %s@." (Mirror.error_message e);
     1
   | Repro_util.Serde.Corrupt m ->
     Format.eprintf "error: corrupt store: %s@." m;
@@ -78,6 +93,7 @@ let () =
       ("trace", "Run a backup and export its Chrome trace_event JSON");
       ("metrics", "Run a backup and print its metrics registry");
       ("analyze", "Run a backup and print its critical path and bottleneck verdict");
+      ("mirror", "Manage scheduled replication, failover and resync");
     ]
 
 let summary = Usage.summary
@@ -1188,6 +1204,161 @@ let cmd_browse =
     (Cmd.info "browse" ~doc:(summary "browse"))
     Term.(const run $ store_arg $ label $ target)
 
+(* ---------------------------- replication ----------------------------- *)
+
+let read_file path = In_channel.with_open_bin path In_channel.input_all
+
+(* The replication topology lives in its own RPL1 file next to the store:
+   the store holds the primary volume, the repl file holds the replica
+   volumes, the edges (with their links) and the schedule. The primary
+   node is re-wired to the engine's live file system on every load. *)
+let cmd_mirror =
+  let run store action name repl_path upstream interval =
+    handle (fun () ->
+        with_store store (fun engine ->
+            let repl_path =
+              match repl_path with Some p -> p | None -> store ^ ".repl"
+            in
+            let load_t () =
+              if Sys.file_exists repl_path then
+                Repl.load
+                  (Serde.reader (read_file repl_path))
+                  ~primary_fs:(Engine.fs engine)
+              else
+                Repl.create
+                  ~primary:(Volume.label (Fs.volume (Engine.fs engine)))
+                  (Engine.fs engine)
+            in
+            let save_t t =
+              let w = Serde.writer () in
+              Repl.save w t;
+              write_file repl_path (Serde.contents w)
+            in
+            let show_transfer (x : Repl.transfer) =
+              say "%s → %s: %s %s (%d bytes, %.2f s on the wire)" x.Repl.xfer_src
+                x.Repl.xfer_dst
+                (match x.Repl.xfer_kind with
+                | `Full -> "full"
+                | `Incremental -> "incremental")
+                x.Repl.xfer_snapshot x.Repl.xfer_payload_bytes x.Repl.xfer_wire_s
+            in
+            match (action, name) with
+            | "status", _ ->
+              let t = load_t () in
+              List.iter
+                (fun (st : Repl.status) ->
+                  say "%-10s %-8s %-13s last=%-10s lag=%.0fs%s" st.Repl.st_name
+                    (match st.Repl.st_role with
+                    | `Primary -> "primary"
+                    | `Replica -> "replica")
+                    (Repl.state_name st.Repl.st_state)
+                    (Option.value st.Repl.st_last ~default:"-")
+                    st.Repl.st_lag_s
+                    (match st.Repl.st_upstream with
+                    | Some u -> " upstream=" ^ u
+                    | None -> ""))
+                (Repl.status t);
+              false
+            | "init", Some n ->
+              let t = load_t () in
+              let upstream =
+                match upstream with Some u -> u | None -> Repl.primary t
+              in
+              Repl.add_replica t ~upstream ~interval_s:interval ~name:n ();
+              save_t t;
+              say "replica %s added downstream of %s%s" n upstream
+                (if interval > 0.0 then
+                   Printf.sprintf " (scheduled every %.0f s)" interval
+                 else "");
+              false
+            | "update", _ ->
+              let t = load_t () in
+              let cp = Repl.checkpoint t in
+              let transfers =
+                match name with
+                | Some n -> Repl.sync t ~name:n
+                | None ->
+                  List.concat_map
+                    (fun (st : Repl.status) ->
+                      if
+                        st.Repl.st_role = `Primary
+                        || st.Repl.st_state = Repl.Diverged
+                      then []
+                      else Repl.sync t ~name:st.Repl.st_name)
+                    (Repl.status t)
+              in
+              say "checkpoint %s" cp;
+              List.iter show_transfer transfers;
+              save_t t;
+              true
+            | "promote", Some n ->
+              let t = load_t () in
+              let p = Repl.promote t ~name:n in
+              say "promoted %s: RPO %.1f s, RTO %.2f s%s" p.Repl.promoted
+                p.Repl.rpo_s p.Repl.rto_s
+                (match p.Repl.divergence_base with
+                | Some b -> Printf.sprintf " (diverging from %s)" b
+                | None -> "");
+              save_t t;
+              true
+            | "resync", Some n ->
+              let t = load_t () in
+              let xs = Repl.resync t ~name:n in
+              (* resync may rewrite the store's own volume under the
+                 engine's feet — remount so the saved store sees it *)
+              if Repl.volume t ~name:n == Fs.volume (Engine.fs engine) then
+                Engine.remount engine;
+              List.iter show_transfer xs;
+              (match Repl.verify t ~name:n with
+              | Ok () -> say "%s verified byte-identical to %s" n (Repl.primary t)
+              | Error ds ->
+                raise (Fs.Error (Printf.sprintf "%s diverges after resync: %s" n
+                                   (String.concat "; " ds))));
+              save_t t;
+              true
+            | _ ->
+              say
+                "usage: mirror STORE (init NAME | update [NAME] | promote NAME \
+                 | resync NAME | status)";
+              false))
+  in
+  let action =
+    Arg.(
+      required
+      & pos 1 (some string) None
+      & info [] ~docv:"ACTION" ~doc:"init, update, promote, resync or status.")
+  in
+  let node_name = Arg.(value & pos 2 (some string) None & info [] ~docv:"NAME") in
+  let repl_file =
+    Arg.(
+      value
+      & opt (some string) None
+      & info
+          (Usage.flag ~cmds:[ "mirror" ] [ "repl" ])
+          ~docv:"FILE"
+          ~doc:"Replication topology file (default: $(b,STORE).repl).")
+  in
+  let upstream =
+    Arg.(
+      value
+      & opt (some string) None
+      & info
+          (Usage.flag ~cmds:[ "mirror" ] [ "upstream" ])
+          ~docv:"NODE"
+          ~doc:"Upstream node for $(b,init) (default: the current primary).")
+  in
+  let interval =
+    Arg.(
+      value & opt float 0.0
+      & info
+          (Usage.flag ~cmds:[ "mirror" ] [ "interval" ])
+          ~docv:"SECONDS"
+          ~doc:"Replication schedule interval for $(b,init).")
+  in
+  Cmd.v
+    (Cmd.info "mirror" ~doc:(summary "mirror"))
+    Term.(const run $ store_arg $ action $ node_name $ repl_file $ upstream $ interval)
+
 (* -------------------------------- main -------------------------------- *)
 
 let commands =
@@ -1215,6 +1386,7 @@ let commands =
     cmd_trace;
     cmd_metrics;
     cmd_analyze;
+    cmd_mirror;
   ]
 
 let run () =

@@ -47,7 +47,7 @@ let default_io_model =
 type attachment = { att_lib : Library.t; att_host : string }
 
 type t = {
-  e_fs : Fs.t;
+  mutable e_fs : Fs.t;
   mutable atts : attachment array;
   mutable links : (string * Link.t) list; (* host -> link, attach order *)
   mutable sessions : (string * Session.t) list; (* connected lazily *)
@@ -86,6 +86,13 @@ let create ?cpu ?(costs = Cost.f630) ?clock ?(retry = Retry.default)
   }
 
 let fs t = t.e_fs
+
+(* After a physical restore/resync rewrites the volume underneath the
+   mounted file system, the old handle is stale — and Store.save's CP
+   through it would clobber the restored image. *)
+let remount t =
+  t.e_fs <- Fs.mount ~config:(Fs.config_of t.e_fs) (Fs.volume t.e_fs)
+
 let catalog t = t.cat
 let dumpdates t = t.dd
 let last_stats t = t.stats

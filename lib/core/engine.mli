@@ -70,6 +70,14 @@ val create :
     tape server. *)
 
 val fs : t -> Repro_wafl.Fs.t
+
+val remount : t -> unit
+(** Replace the engine's file-system handle with a fresh mount of its
+    volume (same configuration). Required after a physical image
+    restore or a replication resync rewrites the volume underneath the
+    mount: the old handle is stale, and saving the store through it
+    would overwrite the restored image with stale in-memory state. *)
+
 val catalog : t -> Catalog.t
 val dumpdates : t -> Repro_dump.Dumpdates.t
 

@@ -126,10 +126,26 @@ let plan ?(seed = 0) specs =
         s.loss_left <- s.loss_left + losses;
         s.loss_prob <- prob
       | Link_flap { device; after_frames; down_frames } ->
+        (* A flap of zero (or negative) duration would sit in the plan
+           and never drop a frame; refuse it up front. *)
+        if down_frames <= 0 then
+          invalid_arg
+            (Printf.sprintf
+               "Fault.plan: link-flap on %s with down_frames <= 0 never \
+                fires"
+               device);
         let s = state p device in
         s.flap_countdown <- after_frames;
         s.flap_left <- down_frames
       | Link_partition { device; after_frames } ->
+        (* A negative countdown is the disarmed sentinel: such a spec
+           would silently never partition the link. *)
+        if after_frames < 0 then
+          invalid_arg
+            (Printf.sprintf
+               "Fault.plan: net-partition on %s with after_frames < 0 \
+                never fires"
+               device);
         (state p device).partition_countdown <- after_frames)
     specs;
   p

@@ -72,18 +72,23 @@ type spec =
       (** After [after_frames] further frame sends on link [device], the
           link goes down for the next [down_frames] sends (all dropped),
           then comes back. One-shot — a burst loss the transport rides
-          out. *)
+          out. [down_frames <= 0] is rejected by {!plan}. *)
   | Link_partition of { device : string; after_frames : int }
       (** After [after_frames] further frame sends, link [device]
           partitions hard: that send and every later one raises
           {!Partitioned} until {!revive} heals the link. The network
-          analogue of {!Tape_drive_death}. *)
+          analogue of {!Tape_drive_death}. [after_frames < 0] is
+          rejected by {!plan}. *)
 
 type plane
 (** A compiled plan plus its journal and counters. *)
 
 val plan : ?seed:int -> spec list -> plane
-(** Compile a plan. [seed] (default 0) drives the probabilistic specs. *)
+(** Compile a plan. [seed] (default 0) drives the probabilistic specs.
+    Raises [Invalid_argument] on a spec that could never fire — a
+    {!Link_flap} of zero duration or a {!Link_partition} with a negative
+    countdown — so a typo'd drill fails at plan time, not by silently
+    injecting nothing. *)
 
 val specs : plane -> spec list
 

@@ -4,6 +4,18 @@ module Tape = Repro_tape.Tape
 module Library = Repro_tape.Library
 module Tapeio = Repro_tape.Tapeio
 
+type error = Not_initialized | Snapshot_gap of { base : string }
+
+exception Error of error
+
+let error_message = function
+  | Not_initialized -> "mirror not initialized"
+  | Snapshot_gap { base } ->
+    Printf.sprintf
+      "mirror base snapshot %s no longer exists on the source (resync \
+       required)"
+      base
+
 type t = {
   label : string;
   vol : Volume.t;
@@ -59,8 +71,10 @@ let initialize t ~from ~snapshot =
 
 let update t ~from ~snapshot =
   match t.last with
-  | None -> raise (Fs.Error "mirror not initialized")
+  | None -> raise (Error Not_initialized)
   | Some base ->
+    if not (List.exists (fun (s : Fs.snap_info) -> s.Fs.name = base) (Fs.snapshots from))
+    then raise (Error (Snapshot_gap { base }));
     let xfer =
       ship t ~dump:(fun ~sink -> Image_dump.incremental ~fs:from ~base ~snapshot ~sink ())
     in

@@ -10,6 +10,17 @@
 
 type t
 
+type error =
+  | Not_initialized  (** {!update} before {!initialize} *)
+  | Snapshot_gap of { base : string }
+      (** The last mirrored snapshot was deleted on the source, so no
+          incremental can chain from it; the caller must re-initialize
+          (or, in the replication plane, {!Repro_repl.Repl.resync}). *)
+
+exception Error of error
+
+val error_message : error -> string
+
 type transfer = {
   snapshot : string;
   blocks : int;
@@ -28,8 +39,9 @@ val initialize : t -> from:Repro_wafl.Fs.t -> snapshot:string -> transfer
 
 val update : t -> from:Repro_wafl.Fs.t -> snapshot:string -> transfer
 (** Incremental transfer from the last mirrored snapshot to [snapshot].
-    Raises [Repro_wafl.Fs.Error] if the mirror was never initialized or
-    the last mirrored snapshot no longer exists on the source. *)
+    Raises [Error Not_initialized] before {!initialize}, and
+    [Error (Snapshot_gap _)] when the last mirrored snapshot no longer
+    exists on the source. *)
 
 val mount : t -> Repro_wafl.Fs.t
 (** Mount the mirror for reading/verification. *)

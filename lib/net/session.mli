@@ -10,6 +10,15 @@
     retransmitted. Delivery to the receiver callback is exactly-once and
     in order.
 
+    A fault that kills an in-flight stream ({!Repro_fault.Fault.Transient}
+    on retransmit exhaustion, {!Repro_fault.Fault.Partitioned} on a
+    partition) aborts {e the stream}, not the session: the stream slot is
+    released, and once the fault clears (e.g.
+    {!Repro_fault.Fault.revive}) the same session opens fresh streams —
+    which is how the engine's part retry and the replication plane's
+    resume-from-last-snapshot ({!Repro_repl.Repl}) ride out partitions
+    without reconnecting.
+
     The whole exchange runs on the session's own
     {!Repro_sim.Engine} — deterministic, ordered, and entirely on
     simulated time. Every frame send (control and data, retransmissions

@@ -466,6 +466,53 @@ let to_json r =
   Buffer.contents b
 
 (* ------------------------------------------------------------------ *)
+(* Disaster-recovery drills                                            *)
+
+type dr = {
+  dr_rpo_s : float;
+  dr_rto_s : float;
+  dr_lag : (string * (float * float) list) list;
+}
+
+let lag_prefix = "repl.lag_s."
+
+let dr obs =
+  match
+    (Obs.gauge_value obs "repl.rpo_s", Obs.gauge_value obs "repl.rto_s")
+  with
+  | Some rpo, Some rto ->
+    let plen = String.length lag_prefix in
+    let lag =
+      Obs.series_names obs
+      |> List.filter (fun n ->
+             String.length n > plen && String.sub n 0 plen = lag_prefix)
+      |> List.sort Obs.nat_compare
+      |> List.map (fun n ->
+             (String.sub n plen (String.length n - plen), Obs.series obs n))
+    in
+    Some { dr_rpo_s = rpo; dr_rto_s = rto; dr_lag = lag }
+  | _ -> None
+
+let dr_to_json d =
+  let b = Buffer.create 256 in
+  Buffer.add_string b
+    (Printf.sprintf "{\"rpo_s\":%s,\"rto_s\":%s,\"lag\":{" (fnum d.dr_rpo_s)
+       (fnum d.dr_rto_s));
+  List.iteri
+    (fun i (node, points) ->
+      if i > 0 then Buffer.add_string b ",";
+      Buffer.add_string b (Printf.sprintf "%S:[" node);
+      List.iteri
+        (fun j (t, v) ->
+          if j > 0 then Buffer.add_string b ",";
+          Buffer.add_string b (Printf.sprintf "[%s,%s]" (fnum t) (fnum v)))
+        points;
+      Buffer.add_string b "]")
+    d.dr_lag;
+  Buffer.add_string b "}}";
+  Buffer.contents b
+
+(* ------------------------------------------------------------------ *)
 (* Utilization sampling                                                *)
 
 type sampler = {

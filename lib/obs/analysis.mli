@@ -92,6 +92,27 @@ val to_json : report -> string
 (** Deterministic JSON rendering (see [docs/FORMATS.md] section 7):
     identical reports produce identical bytes. *)
 
+(** {1 Disaster-recovery drills}
+
+    The replication plane ({!Repro_repl.Repl}) records [repl.rpo_s] and
+    [repl.rto_s] gauges at promotion and a [repl.lag_s.<node>] series
+    after every transfer; a DR drill's trace therefore carries its own
+    measured RPO/RTO, extracted here for the bench gate and
+    [backupctl mirror status]. *)
+
+type dr = {
+  dr_rpo_s : float;  (** snapshot lag at failure, simulated seconds *)
+  dr_rto_s : float;  (** time to a promoted, fsck-clean mount *)
+  dr_lag : (string * (float * float) list) list;
+      (** per-replica lag timeline, node order by {!Obs.nat_compare} *)
+}
+
+val dr : Obs.t -> dr option
+(** [None] when the trace holds no promotion. *)
+
+val dr_to_json : dr -> string
+(** Deterministic JSON: [{"rpo_s":…,"rto_s":…,"lag":{"B":[[t,s],…]}}]. *)
+
 (** {1 Utilization sampling}
 
     The bridge between the scheduler's fluid timeline and the plane's

@@ -1500,6 +1500,7 @@ let crash t =
 let generation t = t.gen
 let now t = t.config.now ()
 let volume t = t.vol
+let config_of t = t.config
 let max_inodes t = t.max_ino
 let size_blocks t = t.vol_blocks
 let used_blocks t = Blockmap.active_used t.bmap

@@ -33,6 +33,10 @@ type config = {
 val default_config : unit -> config
 (** No CPU accounting, auto-CP every 100k operations, logical timestamps. *)
 
+val config_of : t -> config
+(** The configuration this instance was mounted with — what a remount
+    after a physical restore must carry over. *)
+
 exception Error of string
 (** Raised on all failed operations ([ENOENT], [EEXIST], [ENOTDIR], full
     volume...), with a descriptive message. *)

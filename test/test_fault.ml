@@ -651,6 +651,19 @@ let prop_single_fault_leaves_source_intact =
             ());
       Compare.trees ~src:(fs, "/data") ~dst:(reference, "/data") () = Ok ())
 
+(* A spec that can never fire is a planning mistake, rejected up front
+   rather than silently armed. *)
+let test_plan_rejects_never_firing () =
+  (match Fault.plan [ Fault.Link_partition { device = "x"; after_frames = -1 } ] with
+  | _ -> Alcotest.fail "negative partition countdown accepted"
+  | exception Invalid_argument _ -> ());
+  (match Fault.plan [ Fault.Link_flap { device = "x"; after_frames = 4; down_frames = 0 } ] with
+  | _ -> Alcotest.fail "zero-length flap accepted"
+  | exception Invalid_argument _ -> ());
+  (* the boundary cases that do fire are still accepted *)
+  ignore (Fault.plan [ Fault.Link_partition { device = "x"; after_frames = 0 } ]);
+  ignore (Fault.plan [ Fault.Link_flap { device = "x"; after_frames = -1; down_frames = 1 } ])
+
 (* Identical fault-plan seeds against identical systems reproduce the
    journal and the retry counts exactly. *)
 let prop_identical_seeds_reproduce =
@@ -689,6 +702,7 @@ let () =
         [
           ("latent error injects and clears", `Quick, test_lse_inject_and_clear);
           ("retry backoff and exhaustion", `Quick, test_retry_backoff_and_exhaustion);
+          ("plan rejects never-firing specs", `Quick, test_plan_rejects_never_firing);
         ] );
       ( "raid",
         [

@@ -277,6 +277,25 @@ let test_mirror_initialize_and_update () =
   checks "update arrived" "replicate me" (Fs.read mfs2 "/data/fresh.txt" ~offset:0 ~len:12);
   assert_equal_trees (fs, "/data") (mfs2, "/data")
 
+let test_mirror_typed_errors () =
+  let fs, _ = populated ~bytes:200_000 "src" in
+  Fs.snapshot_create fs "mirror.0";
+  let m = Mirror.create ~label:"remote" (make_vol "mirror") in
+  (* updating before initializing is a typed error, not a raw Fs one *)
+  (match Mirror.update m ~from:fs ~snapshot:"mirror.0" with
+  | _ -> Alcotest.fail "expected Not_initialized"
+  | exception Mirror.Error Mirror.Not_initialized -> ());
+  ignore (Mirror.initialize m ~from:fs ~snapshot:"mirror.0");
+  (* the mirror's base snapshot vanishing on the source is a gap *)
+  Fs.snapshot_delete fs "mirror.0";
+  Fs.snapshot_create fs "mirror.2";
+  (match Mirror.update m ~from:fs ~snapshot:"mirror.2" with
+  | _ -> Alcotest.fail "expected Snapshot_gap"
+  | exception Mirror.Error (Mirror.Snapshot_gap { base }) ->
+    checks "gap names the missing base" "mirror.0" base);
+  checkb "message renders" true
+    (String.length (Mirror.error_message Mirror.Not_initialized) > 0)
+
 let test_intermediate_snapshot_coverage () =
   (* a snapshot taken between base and target whose blocks are fully
      covered survives the incremental; one with unique blocks is dropped *)
@@ -374,6 +393,7 @@ let suite =
     ("verify passes clean streams", `Quick, test_image_verify_clean);
     ("image dump reads sequentially", `Quick, test_image_dump_is_sequential);
     ("mirroring: initialize and update", `Quick, test_mirror_initialize_and_update);
+    ("mirroring: typed errors", `Quick, test_mirror_typed_errors);
     ("intermediate snapshot coverage", `Quick, test_intermediate_snapshot_coverage);
     ("randomized incremental chains", `Slow, test_randomized_incremental_chains);
     ("restore to smaller volume fails", `Quick, test_restore_to_smaller_volume_fails);
