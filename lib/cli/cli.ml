@@ -22,6 +22,7 @@ module Report = Repro_backup.Report
 module Disk = Repro_block.Disk
 module Obs = Repro_obs.Obs
 module Analysis = Repro_obs.Analysis
+module Prof = Repro_prof.Prof
 module Link = Repro_net.Link
 module Mirror = Repro_image.Mirror
 module Repl = Repro_repl.Repl
@@ -94,6 +95,7 @@ let () =
       ("metrics", "Run a backup and print its metrics registry");
       ("analyze", "Run a backup and print its critical path and bottleneck verdict");
       ("mirror", "Manage scheduled replication, failover and resync");
+      ("profile", "Run any backupctl command under the host-side self-profiler");
     ]
 
 let summary = Usage.summary
@@ -145,6 +147,36 @@ let with_obs trace_out metrics_out f =
   match (trace_out, metrics_out) with
   | None, None -> f None
   | _ -> run_with_obs ?trace_out ?metrics_out (fun o -> f (Some o))
+
+(* --------------------------- self-profiling --------------------------- *)
+
+let prof_cmds = [ "backup"; "restore"; "fault"; "trace"; "metrics"; "analyze" ]
+
+let profile_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info
+        (Usage.flag ~cmds:prof_cmds [ "profile-out" ])
+        ~docv:"FILE"
+        ~doc:
+          "Write a host-side self-profile (JSONL: wall time, allocation and \
+           event-loop statistics per probe) of this run to $(docv). \
+           Profiling is host-only and never changes simulated results.")
+
+(* Arm the self-profiler around [f] only when an export was requested;
+   the export happens in the [finally] so an interrupted run still
+   leaves its profile behind. *)
+let with_prof profile_out f =
+  match profile_out with
+  | None -> f ()
+  | Some path ->
+    let p = Prof.create () in
+    Fun.protect
+      ~finally:(fun () ->
+        Prof.disarm p;
+        write_file path (Prof.jsonl p))
+      (fun () -> Prof.with_armed p f)
 
 (* ------------------------------- args -------------------------------- *)
 
@@ -634,27 +666,31 @@ let job_of engine (strategy, level, subtree, drive, drives, parts, resume, remot
 let run_backup engine args = Engine.backup_job engine (job_of engine args)
 
 let cmd_backup =
-  let run store args trace_out metrics_out =
+  let run store args trace_out metrics_out profile_out =
     handle (fun () ->
-        with_store store (fun engine ->
-            with_obs trace_out metrics_out (fun _obs ->
-                report_entry (run_backup engine args));
-            true))
+        with_prof profile_out (fun () ->
+            with_store store (fun engine ->
+                with_obs trace_out metrics_out (fun _obs ->
+                    report_entry (run_backup engine args));
+                true)))
   in
   Cmd.v
     (Cmd.info "backup" ~doc:(summary "backup"))
-    Term.(const run $ store_arg $ backup_args $ trace_out_arg $ metrics_out_arg)
+    Term.(
+      const run $ store_arg $ backup_args $ trace_out_arg $ metrics_out_arg
+      $ profile_out_arg)
 
 let cmd_trace =
-  let run store args out =
+  let run store args out profile_out =
     handle (fun () ->
-        with_store store (fun engine ->
-            run_with_obs ~trace_out:out (fun o ->
-                report_entry (run_backup engine args);
-                say "trace: %d events written to %s"
-                  (List.length (Obs.events o))
-                  out);
-            true))
+        with_prof profile_out (fun () ->
+            with_store store (fun engine ->
+                run_with_obs ~trace_out:out (fun o ->
+                    report_entry (run_backup engine args);
+                    say "trace: %d events written to %s"
+                      (List.length (Obs.events o))
+                      out);
+                true)))
   in
   let out =
     Arg.(
@@ -664,17 +700,18 @@ let cmd_trace =
   in
   Cmd.v
     (Cmd.info "trace" ~doc:(summary "trace"))
-    Term.(const run $ store_arg $ backup_args $ out)
+    Term.(const run $ store_arg $ backup_args $ out $ profile_out_arg)
 
 let cmd_metrics =
-  let run store args out jsonl =
+  let run store args out jsonl profile_out =
     handle (fun () ->
-        with_store store (fun engine ->
-            run_with_obs ?metrics_out:out (fun o ->
-                report_entry (run_backup engine args);
-                if jsonl then print_string (Obs.metrics_jsonl o)
-                else Obs.pp_summary Format.std_formatter o);
-            true))
+        with_prof profile_out (fun () ->
+            with_store store (fun engine ->
+                run_with_obs ?metrics_out:out (fun o ->
+                    report_entry (run_backup engine args);
+                    if jsonl then print_string (Obs.metrics_jsonl o)
+                    else Obs.pp_summary Format.std_formatter o);
+                true)))
   in
   let out =
     Arg.(
@@ -691,18 +728,20 @@ let cmd_metrics =
   in
   Cmd.v
     (Cmd.info "metrics" ~doc:(summary "metrics"))
-    Term.(const run $ store_arg $ backup_args $ out $ jsonl)
+    Term.(const run $ store_arg $ backup_args $ out $ jsonl $ profile_out_arg)
 
 let cmd_analyze =
-  let run store args out =
+  let run store args out series_out profile_out =
     handle (fun () ->
-        with_store store (fun engine ->
-            let o = Obs.create () in
-            Obs.with_armed o (fun () -> report_entry (run_backup engine args));
-            let report = Analysis.analyze o in
-            Report.bottleneck Format.std_formatter report;
-            Option.iter (fun p -> write_file p (Analysis.to_json report)) out;
-            true))
+        with_prof profile_out (fun () ->
+            with_store store (fun engine ->
+                let o = Obs.create () in
+                Obs.with_armed o (fun () -> report_entry (run_backup engine args));
+                let report = Analysis.analyze o in
+                Report.bottleneck Format.std_formatter report;
+                Option.iter (fun p -> write_file p (Analysis.to_json report)) out;
+                Option.iter (fun p -> write_file p (Analysis.series_csv o)) series_out;
+                true)))
   in
   let out =
     Arg.(
@@ -712,9 +751,20 @@ let cmd_analyze =
           (Usage.flag ~cmds:[ "analyze" ] [ "out"; "o" ])
           ~docv:"FILE" ~doc:"Write the analysis report JSON to $(docv).")
   in
+  let series_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info
+          (Usage.flag ~cmds:[ "analyze" ] [ "series-out" ])
+          ~docv:"FILE"
+          ~doc:
+            "Write every time series (including the 64-bin utilization \
+             timelines) as CSV ($(b,series,t_s,value)) to $(docv).")
+  in
   Cmd.v
     (Cmd.info "analyze" ~doc:(summary "analyze"))
-    Term.(const run $ store_arg $ backup_args $ out)
+    Term.(const run $ store_arg $ backup_args $ out $ series_out $ profile_out_arg)
 
 let cmd_catalog =
   let run store =
@@ -748,9 +798,10 @@ let cmd_catalog =
 (* ------------------------------ restore ------------------------------ *)
 
 let cmd_restore =
-  let run store label target select drives trace_out metrics_out =
+  let run store label target select drives trace_out metrics_out profile_out =
     handle (fun () ->
-        with_store store (fun engine ->
+        with_prof profile_out (fun () ->
+            with_store store (fun engine ->
             let fs = Engine.fs engine in
             let select = match select with [] -> None | l -> Some l in
             with_obs trace_out metrics_out (fun _obs ->
@@ -769,7 +820,7 @@ let cmd_restore =
                       i r.Restore.files_restored r.Restore.dirs_created
                       r.Restore.files_deleted r.Restore.bytes_restored)
                   results);
-            true))
+            true)))
   in
   let label =
     Arg.(
@@ -796,7 +847,7 @@ let cmd_restore =
     (Cmd.info "restore" ~doc:(summary "restore"))
     Term.(
       const run $ store_arg $ label $ target $ select $ drives_arg
-      $ trace_out_arg $ metrics_out_arg)
+      $ trace_out_arg $ metrics_out_arg $ profile_out_arg)
 
 let cmd_disaster =
   let run store label output =
@@ -945,8 +996,9 @@ let inject_conv =
   Arg.conv (parse, print)
 
 let cmd_fault =
-  let run store args seed injects revive trace_out metrics_out =
+  let run store args seed injects revive trace_out metrics_out profile_out =
     handle (fun () ->
+        with_prof profile_out (fun () ->
         with_store store (fun engine ->
             let plane = Fault.plan ~seed injects in
             (* A drill always records: the report reads its counters from
@@ -983,7 +1035,7 @@ let cmd_fault =
                                 ~subtree:job.Engine.Job.subtree ~resume:true ()))
                       end);
                     Report.faults Format.std_formatter ~obs ~plane ~engine ()));
-            true))
+            true)))
   in
   let seed =
     Arg.(
@@ -1016,7 +1068,7 @@ let cmd_fault =
     (Cmd.info "fault" ~doc:(summary "fault"))
     Term.(
       const run $ store_arg $ backup_args $ seed $ injects $ revive
-      $ trace_out_arg $ metrics_out_arg)
+      $ trace_out_arg $ metrics_out_arg $ profile_out_arg)
 
 let cmd_quota =
   let run store action path limit =
@@ -1359,6 +1411,66 @@ let cmd_mirror =
     (Cmd.info "mirror" ~doc:(summary "mirror"))
     Term.(const run $ store_arg $ action $ node_name $ repl_file $ upstream $ interval)
 
+(* ------------------------------ profile ------------------------------ *)
+
+(* Set by [run] once the command group exists, so [profile] can
+   re-evaluate the full CLI recursively on the wrapped argv. *)
+let eval_argv : (string array -> int) ref = ref (fun _ -> 2)
+
+let cmd_profile =
+  let run out flame args =
+    handle (fun () ->
+        match args with
+        | [] ->
+          say "usage: profile [--out FILE] [--flame-out FILE] -- COMMAND [ARG]...";
+          2
+        | args ->
+          let p = Prof.create () in
+          let code =
+            Fun.protect
+              ~finally:(fun () ->
+                Prof.disarm p;
+                (* The summary goes to stderr so the wrapped command's
+                   stdout stays clean for its own consumers. *)
+                Prof.pp_summary Format.err_formatter p;
+                Option.iter (fun path -> write_file path (Prof.jsonl p)) out;
+                Option.iter (fun path -> write_file path (Prof.folded p)) flame)
+              (fun () ->
+                Prof.with_armed p (fun () ->
+                    !eval_argv (Array.of_list ("backupctl" :: args))))
+          in
+          code)
+  in
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info
+          (Usage.flag ~cmds:[ "profile" ] [ "out"; "o" ])
+          ~docv:"FILE" ~doc:"Write the profile as JSONL to $(docv).")
+  in
+  let flame =
+    Arg.(
+      value
+      & opt (some string) None
+      & info
+          (Usage.flag ~cmds:[ "profile" ] [ "flame-out" ])
+          ~docv:"FILE"
+          ~doc:
+            "Write folded flamegraph stacks to $(docv) (render with \
+             flamegraph.pl or speedscope).")
+  in
+  let args =
+    Arg.(
+      value & pos_all string []
+      & info [] ~docv:"COMMAND"
+          ~doc:
+            "Command to run under the profiler, with its arguments. Put \
+             $(b,--) before it so its own flags are not parsed by \
+             $(b,profile).")
+  in
+  Cmd.v (Cmd.info "profile" ~doc:(summary "profile")) Term.(const run $ out $ flame $ args)
+
 (* -------------------------------- main -------------------------------- *)
 
 let commands =
@@ -1387,6 +1499,7 @@ let commands =
     cmd_metrics;
     cmd_analyze;
     cmd_mirror;
+    cmd_profile;
   ]
 
 let run () =
@@ -1405,4 +1518,6 @@ let run () =
     ]
   in
   let info = Cmd.info "backupctl" ~doc ~man in
-  Cmd.eval' (Cmd.group info commands)
+  let group = Cmd.group info commands in
+  eval_argv := (fun argv -> Cmd.eval' ~argv group);
+  Cmd.eval' group

@@ -20,6 +20,11 @@ type stats = { elapsed : float; per_drive : (int * float * int) list }
 
 let eps = 1e-9
 
+(* Self-profiling: each fair-share interval recomputation is timed on
+   the host wall clock (the solver itself shows up as a child frame). *)
+let p_interval = Repro_prof.Prof.probe "sched.interval"
+let c_intervals = Repro_prof.Prof.counter "sched.interval_recomputes"
+
 (* One in-flight job: side effects already done, only its simulated
    duration is still being played out. [remaining] is the fraction left. *)
 type 'a flight = {
@@ -137,6 +142,7 @@ let run ?(fatal = fun _ -> false) ?max_active ?on_complete ?on_interval ~drives
     match !active with
     | [] -> ()
     | flights ->
+      let tok = Repro_prof.Prof.enter p_interval in
       let rates =
         Pipeline.fair_share (Array.of_list (List.map (fun f -> f.f_demands) flights))
       in
@@ -147,6 +153,8 @@ let run ?(fatal = fun _ -> false) ?max_active ?on_complete ?on_interval ~drives
           (0, infinity) flights
       in
       let dt = Float.max dt 0.0 in
+      Repro_prof.Prof.leave tok;
+      Repro_prof.Prof.bump c_intervals;
       Sim.schedule_in sim dt (fun () ->
           let now = Sim.now sim in
           (* Report the interval that just elapsed: each resource key's

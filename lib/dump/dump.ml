@@ -22,6 +22,10 @@ type result = {
 
 let charge cpu secs = match cpu with Some r -> Resource.charge r secs | None -> ()
 
+(* Self-profiling: per-file header encoding on the logical block path. *)
+let p_file = Repro_prof.Prof.probe "dump.file_header"
+let c_files = Repro_prof.Prof.counter "dump.file_headers"
+
 (* Serialize a bitmap and write it as whole 4 KB data blocks after a Map
    header. *)
 let emit_map sink ~map_kind ~inodes bitmap =
@@ -52,6 +56,7 @@ let presence_bytes present nblocks =
 (* Emit the File header (plus Addr continuations if the hole map is large),
    then return the list of present lbns in order. *)
 let emit_file_header sink ~ino ~inode ~xattrs ~nblocks ~present =
+  let tok = Repro_prof.Prof.enter p_file in
   let pbytes = presence_bytes present nblocks in
   let total = String.length pbytes in
   let cap = Spec.file_header_capacity ~xattrs in
@@ -73,7 +78,9 @@ let emit_file_header sink ~ino ~inode ~xattrs ~nblocks ~present =
     Tapeio.output sink
       (Spec.encode (Spec.Addr { ino; fragment = String.sub pbytes !pos len }));
     pos := !pos + len
-  done
+  done;
+  Repro_prof.Prof.leave tok;
+  Repro_prof.Prof.bump c_files
 
 (* Canonical directory content: "a simple, known format of the file name
    followed by the inode number" (paper §3). *)

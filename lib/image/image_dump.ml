@@ -18,6 +18,10 @@ type result = {
 
 let charge cpu secs = match cpu with Some r -> Resource.charge r secs | None -> ()
 
+(* Self-profiling: per-extent read+encode on the physical block path. *)
+let p_extent = Repro_prof.Prof.probe "image.extent"
+let c_extents = Repro_prof.Prof.counter "image.extents"
+
 let find_entry fs name =
   match
     List.find_opt
@@ -34,13 +38,16 @@ let emit_extents ?cpu ~costs ~fs ~sink set =
   let nblocks = ref 0 in
   let flush vbn count =
     if count > 0 then begin
+      let tok = Repro_prof.Prof.enter p_extent in
       let data = Bytes.to_string (Volume.read_extent vol vbn count) in
       charge cpu
         (Float.of_int count
         *. (costs.Cost.image_per_block
            +. (4096.0 *. costs.Cost.image_per_byte)));
       Tapeio.output sink (Format.encode_extent ~vbn ~data);
-      nblocks := !nblocks + count
+      nblocks := !nblocks + count;
+      Repro_prof.Prof.leave tok;
+      Repro_prof.Prof.bump c_extents
     end
   in
   let run_start = ref (-1) in

@@ -4,6 +4,11 @@ module Crc32 = Repro_util.Crc32
 let magic = "RNF1"
 let overhead = String.length magic + 4 + 4 + 4
 
+(* Self-profiling: framing (CRC + serialization) is a per-record host
+   cost, one of the hot seams the speed bench attributes. *)
+let p_frame = Repro_prof.Prof.probe "net.frame"
+let c_frames = Repro_prof.Prof.counter "net.frames"
+
 (* The CRC covers the sequence number as well as the payload: a damaged
    seq must not deliver an intact payload into the wrong slot. *)
 let crc_of ~seq payload =
@@ -13,19 +18,28 @@ let crc_of ~seq payload =
     (Crc32.update_string (Crc32.update_string Crc32.init (Serde.contents w)) payload)
 
 let encode ~seq payload =
+  let tok = Repro_prof.Prof.enter p_frame in
   let w = Serde.writer ~initial_size:(overhead + String.length payload) () in
   Serde.write_fixed w magic;
   Serde.write_u32 w seq;
   Serde.write_u32 w (crc_of ~seq payload);
   Serde.write_string w payload;
-  Serde.contents w
+  let s = Serde.contents w in
+  Repro_prof.Prof.leave tok;
+  Repro_prof.Prof.bump c_frames;
+  s
 
 let decode s =
+  let tok = Repro_prof.Prof.enter p_frame in
   let r = Serde.reader s in
   Serde.expect_magic r magic;
   let seq = Serde.read_u32 r in
   let crc = Serde.read_u32 r in
   let payload = Serde.read_string r in
-  if crc_of ~seq payload <> crc then
-    raise (Serde.Corrupt (Printf.sprintf "frame %d: header CRC mismatch" seq));
+  if crc_of ~seq payload <> crc then begin
+    Repro_prof.Prof.leave tok;
+    raise (Serde.Corrupt (Printf.sprintf "frame %d: header CRC mismatch" seq))
+  end;
+  Repro_prof.Prof.leave tok;
+  Repro_prof.Prof.bump c_frames;
   (seq, payload)

@@ -513,6 +513,29 @@ let dr_to_json d =
   Buffer.contents b
 
 (* ------------------------------------------------------------------ *)
+(* Series CSV export                                                   *)
+
+(* Long format so a plotting tool can facet on the series column; one
+   header, then one row per point, series in nat order, points in
+   recording order. Deterministic bytes for identical planes. *)
+let series_csv obs =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b "series,t_s,value\n";
+  List.iter
+    (fun name ->
+      List.iter
+        (fun (t, v) ->
+          Buffer.add_string b name;
+          Buffer.add_char b ',';
+          Buffer.add_string b (fnum t);
+          Buffer.add_char b ',';
+          Buffer.add_string b (fnum v);
+          Buffer.add_char b '\n')
+        (Obs.series obs name))
+    (Obs.series_names obs);
+  Buffer.contents b
+
+(* ------------------------------------------------------------------ *)
 (* Utilization sampling                                                *)
 
 type sampler = {

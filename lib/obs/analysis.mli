@@ -113,6 +113,13 @@ val dr : Obs.t -> dr option
 val dr_to_json : dr -> string
 (** Deterministic JSON: [{"rpo_s":…,"rto_s":…,"lag":{"B":[[t,s],…]}}]. *)
 
+val series_csv : Obs.t -> string
+(** Every series on the plane (recorded and derived, including the
+    sampler's [*.util.*] bins) in long CSV format:
+    [series,t_s,value] header then one row per point, series in
+    {!Obs.nat_compare} order, points in recording order. Deterministic
+    bytes for identical planes. *)
+
 (** {1 Utilization sampling}
 
     The bridge between the scheduler's fluid timeline and the plane's

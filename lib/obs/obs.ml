@@ -120,9 +120,18 @@ let now_us t =
   let base = match t.clock with Some c -> Clock.now c *. 1e6 | None -> 0.0 in
   Float.to_int (base +. t.io_us)
 
+(* Self-profiling hooks (host wall clock, never simulated time): the
+   probe sits inside the armed-and-enabled branches only, so the
+   obs-off fast path is untouched. *)
+let p_record = Repro_prof.Prof.probe "obs.record"
+let c_hooks = Repro_prof.Prof.counter "obs.hook_invocations"
+
 let push t ev =
+  let tok = Repro_prof.Prof.enter p_record in
   t.evs <- ev :: t.evs;
-  t.nevs <- t.nevs + 1
+  t.nevs <- t.nevs + 1;
+  Repro_prof.Prof.leave tok;
+  Repro_prof.Prof.bump c_hooks
 
 (* ------------------------------------------------------------------ *)
 (* Spans                                                               *)
@@ -222,12 +231,15 @@ let bucket_of v =
 let bucket_lo k = if k <= 0 then 0 else 1 lsl (k - 1)
 
 let counter_on t name n =
+  Repro_prof.Prof.bump c_hooks;
   match Hashtbl.find_opt t.metrics name with
   | Some (Counter c) -> c.total <- c.total + n
   | Some _ -> ()
   | None -> Hashtbl.add t.metrics name (Counter { total = n })
 
 let hist_on t name v =
+  Repro_prof.Prof.bump c_hooks;
+  let tok = Repro_prof.Prof.enter p_record in
   let m =
     match Hashtbl.find_opt t.metrics name with
     | Some m -> m
@@ -236,14 +248,15 @@ let hist_on t name v =
       Hashtbl.add t.metrics name m;
       m
   in
-  match m with
+  (match m with
   | Histogram h ->
     let b = bucket_of v in
     h.buckets.(b) <- h.buckets.(b) + 1;
     h.n <- h.n + 1;
     h.sum <- h.sum + v;
     if v > h.vmax then h.vmax <- v
-  | Counter _ | Gauge _ -> ()
+  | Counter _ | Gauge _ -> ());
+  Repro_prof.Prof.leave tok
 
 let count name n =
   match active () with None -> () | Some t -> counter_on t name n
@@ -288,6 +301,7 @@ let sample ?at name v =
     let ts =
       match at with Some s -> Float.to_int (s *. 1e6) | None -> now_us t
     in
+    Repro_prof.Prof.bump c_hooks;
     let s =
       match Hashtbl.find_opt t.ser_tbl name with
       | Some s -> s
@@ -353,7 +367,12 @@ let percentile_of buckets n sum vmax q =
       cum := !cum + c;
       incr k
     done;
-    Float.max 0.0 (Float.min !est (Float.of_int vmax))
+    (* Clamp into the observed range. Bucket 0 pools every value <= 0 and
+       estimates it as 0.0, which overestimates an all-negative
+       histogram; when vmax < 0 clamp down to vmax so this path agrees
+       with the constant-distribution fast path above. *)
+    let lo_clamp = Float.min 0.0 (Float.of_int vmax) in
+    Float.max lo_clamp (Float.min !est (Float.of_int vmax))
   end
 
 let hist_percentile t name q =
@@ -473,7 +492,8 @@ let json_escape s =
 
 let value_json = function
   | Int i -> string_of_int i
-  | Float f -> Printf.sprintf "%.6g" f
+  (* %.6g would render nan/inf bare, which is not JSON. *)
+  | Float f -> if Float.is_finite f then Printf.sprintf "%.6g" f else "null"
   | Str s -> "\"" ^ json_escape s ^ "\""
   | Bool b -> if b then "true" else "false"
 

@@ -2,6 +2,11 @@ type event = { time : float; action : unit -> unit }
 
 type t = { clock : Clock.t; queue : event Repro_util.Heap.t }
 
+(* Self-profiling hooks: host wall clock only, never simulated time. *)
+let p_dispatch = Repro_prof.Prof.probe "sim.dispatch"
+let c_events = Repro_prof.Prof.counter "sim.events_dispatched"
+let c_heap_peak = Repro_prof.Prof.counter "sim.heap_depth"
+
 let create () =
   {
     clock = Clock.create ();
@@ -20,11 +25,16 @@ let schedule_in t delay action = schedule_at t (now t +. delay) action
 let pending t = Repro_util.Heap.length t.queue
 
 let step t =
+  if Repro_prof.Prof.enabled () then
+    Repro_prof.Prof.peak c_heap_peak (Repro_util.Heap.length t.queue);
   match Repro_util.Heap.pop t.queue with
   | None -> false
   | Some { time; action } ->
     Clock.advance_to t.clock time;
+    let tok = Repro_prof.Prof.enter p_dispatch in
     action ();
+    Repro_prof.Prof.leave tok;
+    Repro_prof.Prof.bump c_events;
     true
 
 let run t = while step t do () done

@@ -43,10 +43,15 @@ let eps = 1e-9
 let current_stage task = List.nth task.stream.stages task.stage_index
 let task_done task = task.stage_index >= List.length task.stream.stages
 
+(* Self-profiling: both solver entry points count as fluid-interval
+   recomputations; host wall clock only. *)
+let p_solver = Repro_prof.Prof.probe "sim.solver"
+let c_recomputes = Repro_prof.Prof.counter "sim.interval_recomputes"
+
 (* Max-min fair rates by progressive filling. Tasks whose stage has an
    all-zero demand vector are unconstrained; callers complete them
    instantly before invoking the solver. *)
-let solve_rates tasks =
+let solve_rates_inner tasks =
   let resources = Hashtbl.create 16 in
   let resource_key r = Resource.name r in
   List.iter
@@ -121,12 +126,18 @@ let solve_rates tasks =
       end
   done
 
+let solve_rates tasks =
+  let tok = Repro_prof.Prof.enter p_solver in
+  solve_rates_inner tasks;
+  Repro_prof.Prof.leave tok;
+  Repro_prof.Prof.bump c_recomputes
+
 (* Same progressive filling as {!solve_rates}, but over plain string-keyed
    demand vectors so callers that are not fluid streams (the data-plane
    drive scheduler) can share the solver. Resources are scanned in sorted
    key order so the bottleneck choice — and thus the rate vector — is
    deterministic regardless of construction order. *)
-let fair_share demands =
+let fair_share_inner demands =
   let n = Array.length demands in
   let rates = Array.make n 0.0 in
   let keys =
@@ -184,6 +195,13 @@ let fair_share demands =
         continue := false
       end
   done;
+  rates
+
+let fair_share demands =
+  let tok = Repro_prof.Prof.enter p_solver in
+  let rates = fair_share_inner demands in
+  Repro_prof.Prof.leave tok;
+  Repro_prof.Prof.bump c_recomputes;
   rates
 
 let run ?clock streams =

@@ -1,5 +1,11 @@
 let default_record_bytes = 64 * 1024
 
+(* Self-profiling: [output]/[input] are the per-record block paths both
+   the logical dump and the physical image stream through. *)
+let p_output = Repro_prof.Prof.probe "tape.output"
+let p_input = Repro_prof.Prof.probe "tape.input"
+let c_stream_bytes = Repro_prof.Prof.counter "tape.bytes_streamed"
+
 type backend = { be_put : string -> unit; be_mark : unit -> unit }
 
 type sink = {
@@ -39,9 +45,12 @@ let flush_full t =
   done
 
 let output t s =
+  let tok = Repro_prof.Prof.enter p_output in
   Buffer.add_string t.buf s;
   t.written <- t.written + String.length s;
-  flush_full t
+  flush_full t;
+  Repro_prof.Prof.leave tok;
+  if tok > 0 then Repro_prof.Prof.add c_stream_bytes (String.length s)
 
 let close_sink t =
   if Buffer.length t.buf > 0 then begin
@@ -127,8 +136,7 @@ let refill t =
     | None -> t.finished <- true
   end
 
-let input t n =
-  if n < 0 then invalid_arg "Tapeio.input";
+let input_inner t n =
   let out = Bytes.create n in
   let filled = ref 0 in
   while !filled < n do
@@ -141,6 +149,19 @@ let input t n =
     filled := !filled + take
   done;
   Bytes.to_string out
+
+(* End_of_file is ordinary control flow for callers, so the probe frame
+   must be closed on that path too. *)
+let input t n =
+  if n < 0 then invalid_arg "Tapeio.input";
+  let tok = Repro_prof.Prof.enter p_input in
+  match input_inner t n with
+  | s ->
+    Repro_prof.Prof.leave tok;
+    s
+  | exception e ->
+    Repro_prof.Prof.leave tok;
+    raise e
 
 let input_all t =
   let buf = Buffer.create 4096 in

@@ -343,6 +343,103 @@ let test_report_matches_golden () =
     Format.printf "--- regenerate test/analysis_report.golden with: ---@.%s@." actual;
     Alcotest.fail "bottleneck report drifted from test/analysis_report.golden")
 
+(* ------------------------ sampler edge cases ------------------------- *)
+
+let util_series plane name =
+  Obs.series plane ("sched.util." ^ name)
+
+let test_sampler_empty_run () =
+  (* A run that never reported an interval: flush is a no-op, no series
+     appear, and flushing twice stays a no-op. *)
+  let plane = Obs.create () in
+  Obs.with_armed plane (fun () ->
+      let s = Analysis.sampler ~prefix:"sched" () in
+      Analysis.sampler_flush s;
+      Analysis.sampler_flush s);
+  checkb "no series recorded" true
+    (List.for_all
+       (fun n -> not (String.length n >= 10 && String.sub n 0 10 = "sched.util"))
+       (Obs.series_names plane));
+  (* zero-width segments are dropped at the door, so flushing after one
+     is still a no-op *)
+  let plane2 = Obs.create () in
+  Obs.with_armed plane2 (fun () ->
+      let s = Analysis.sampler ~prefix:"sched" () in
+      Analysis.sampler_segment s ~t0:1.0 ~t1:1.0 [ ("tape", 0.8) ];
+      Analysis.sampler_flush s);
+  checkb "zero-width segment recorded nothing" true
+    (util_series plane2 "tape" = [])
+
+let test_sampler_single_interval () =
+  (* One fluid interval covering the whole run: every bin reads the
+     interval's utilization exactly. *)
+  let plane = Obs.create () in
+  Obs.with_armed plane (fun () ->
+      let s = Analysis.sampler ~bins:64 ~prefix:"sched" () in
+      Analysis.sampler_segment s ~t0:0.0 ~t1:128.0 [ ("tape", 0.75) ];
+      Analysis.sampler_flush s);
+  let pts = util_series plane "tape" in
+  checki "64 bins" 64 (List.length pts);
+  List.iter (fun (_, v) -> checkf "constant utilization" 0.75 v) pts;
+  (* bin timestamps advance by the bin width *)
+  (match pts with
+  | (t0, _) :: (t1, _) :: _ -> checkf "bin width" 2.0 (t1 -. t0)
+  | _ -> Alcotest.fail "missing points")
+
+let test_sampler_subbin_intervals () =
+  (* Intervals much shorter than one bin: their busy-time still lands in
+     the right bin, weighted by overlap, and utilization stays <= 1. *)
+  let plane = Obs.create () in
+  Obs.with_armed plane (fun () ->
+      let s = Analysis.sampler ~bins:64 ~prefix:"sched" () in
+      (* run length 64 s -> bin width 1 s; two half-second slivers in
+         bin 0 at full utilization, then idle to t=64 *)
+      Analysis.sampler_segment s ~t0:0.0 ~t1:0.5 [ ("tape", 1.0) ];
+      Analysis.sampler_segment s ~t0:0.5 ~t1:1.0 [ ("tape", 1.0) ];
+      Analysis.sampler_segment s ~t0:1.0 ~t1:64.0 [ ("tape", 0.0) ];
+      Analysis.sampler_flush s);
+  let pts = util_series plane "tape" in
+  checki "64 bins" 64 (List.length pts);
+  (match pts with
+  | (_, v0) :: rest ->
+    checkf "bin 0 full" 1.0 v0;
+    List.iter (fun (_, v) -> checkf "other bins idle" 0.0 v) rest
+  | [] -> Alcotest.fail "missing points");
+  (* a sliver overlapping a bin boundary splits between the two bins *)
+  let plane2 = Obs.create () in
+  Obs.with_armed plane2 (fun () ->
+      let s = Analysis.sampler ~bins:64 ~prefix:"sched" () in
+      Analysis.sampler_segment s ~t0:0.75 ~t1:1.25 [ ("tape", 1.0) ];
+      Analysis.sampler_segment s ~t0:1.25 ~t1:64.0 [ ("tape", 0.0) ];
+      Analysis.sampler_flush s);
+  (match util_series plane2 "tape" with
+  | (_, v0) :: (_, v1) :: _ ->
+    checkf "quarter in bin 0" 0.25 v0;
+    checkf "quarter in bin 1" 0.25 v1
+  | _ -> Alcotest.fail "missing points")
+
+let test_series_csv () =
+  let plane = Obs.create () in
+  Obs.with_armed plane (fun () ->
+      let s = Analysis.sampler ~bins:4 ~prefix:"sched" () in
+      Analysis.sampler_segment s ~t0:0.0 ~t1:4.0 [ ("tape", 0.5) ];
+      Analysis.sampler_flush s;
+      Obs.sample ~at:1.0 "a.series" 2.0);
+  let csv = Analysis.series_csv plane in
+  let lines = String.split_on_char '\n' csv in
+  checks "header" "series,t_s,value" (List.hd lines);
+  (* 4 sampler bins + 1 recorded point + header + trailing newline *)
+  checki "line count" 7 (List.length lines);
+  checkb "sampler series present" true
+    (List.exists (fun l -> l = "sched.util.tape,0,0.5") lines);
+  checkb "recorded series present" true
+    (List.exists (fun l -> l = "a.series,1,2") lines);
+  checks "deterministic" csv (Analysis.series_csv plane);
+  (* empty plane: header only *)
+  let empty = Obs.create () in
+  Obs.with_armed empty (fun () -> ());
+  checks "empty csv" "series,t_s,value\n" (Analysis.series_csv empty)
+
 (* --------------------------- determinism ----------------------------- *)
 
 let prop_identical_seeds_identical_reports =
@@ -370,6 +467,13 @@ let () =
         [
           ("verdicts", `Quick, test_classifier_verdicts);
           ("usage shape", `Quick, test_usage_shape);
+        ] );
+      ( "sampler",
+        [
+          ("empty run", `Quick, test_sampler_empty_run);
+          ("single interval", `Quick, test_sampler_single_interval);
+          ("sub-bin intervals", `Quick, test_sampler_subbin_intervals);
+          ("series csv", `Quick, test_series_csv);
         ] );
       ( "report",
         [

@@ -144,6 +144,57 @@ let test_hist_percentiles () =
   Alcotest.(check (float 1e-9)) "all-zero p99" 0.0 (pct "z" 0.99);
   checkb "absent histogram" true (Obs.hist_percentile p "none" 0.5 = None)
 
+(* Edge cases flagged by the PR-7 audit: all-negative histograms used to
+   disagree between the constant fast path (returning vmax < 0) and the
+   general path (clamping up to 0.0); and non-finite gauge/series values
+   rendered as bare nan/inf, which is not JSON. *)
+let test_percentile_edge_cases () =
+  let p = Obs.create () in
+  let pct name q =
+    match Obs.hist_percentile p name q with
+    | Some v -> v
+    | None -> Alcotest.fail "percentile missing"
+  in
+  (* constant all-negative: fast path, exact *)
+  Obs.with_armed p (fun () -> Obs.hist "negc" (-5));
+  Alcotest.(check (float 1e-9)) "negative constant p50" (-5.0) (pct "negc" 0.50);
+  (* non-constant all-negative: general path must agree in sign (clamped
+     to the observed max, not forced up to 0) *)
+  Obs.with_armed p (fun () -> List.iter (Obs.hist "negs") [ -5; -3 ]);
+  Alcotest.(check (float 1e-9)) "all-negative p99" (-3.0) (pct "negs" 0.99);
+  (* mixed sign: bucket-0 pooling still estimates low quantiles at 0 and
+     the top quantile reaches the positive max *)
+  Obs.with_armed p (fun () -> List.iter (Obs.hist "mix") [ -7; -1; 4; 8 ]);
+  checkb "mixed p25 at bucket-0 estimate" true (pct "mix" 0.25 = 0.0);
+  checkb "mixed p99 positive" true (pct "mix" 0.99 > 0.0 && pct "mix" 0.99 <= 8.0);
+  (* q clamped into [0,1] *)
+  checkb "q below range" true (pct "mix" (-1.0) <= pct "mix" 2.0)
+
+let test_exporters_with_edge_values () =
+  let p = Obs.create () in
+  Obs.with_armed p (fun () ->
+      Obs.set_gauge "bad.gauge" Float.nan;
+      Obs.set_gauge "inf.gauge" Float.infinity;
+      Obs.sample "bad.series" Float.neg_infinity;
+      Obs.hist "h" 3);
+  let jm = Obs.metrics_jsonl p in
+  let js = Obs.series_jsonl p in
+  checkb "nan gauge rendered as null" true (contains jm "null");
+  checkb "no bare nan in metrics" false (contains jm "nan");
+  checkb "no bare inf in metrics" false (contains jm "inf\"");
+  checkb "no bare inf value in metrics" false (contains jm ":inf");
+  checkb "no bare -inf in series" false (contains js ":-inf");
+  (* pp_summary on an armed-but-empty plane is stable and total *)
+  let empty = Obs.create () in
+  Obs.with_armed empty (fun () -> ());
+  let b = Buffer.create 64 in
+  let fmt = Format.formatter_of_buffer b in
+  Obs.pp_summary fmt empty;
+  Format.pp_print_flush fmt ();
+  checkb "empty summary total (no raise)" true (Buffer.length b >= 0);
+  checkb "empty metrics jsonl stable" true
+    (String.equal (Obs.metrics_jsonl empty) (Obs.metrics_jsonl empty))
+
 let test_nat_compare () =
   checkb "drive2 before drive10" true (Obs.nat_compare "drive2" "drive10" < 0);
   checkb "drive10 after drive2" true (Obs.nat_compare "drive10" "drive2" > 0);
@@ -341,6 +392,8 @@ let () =
           ("bucketing edges", `Quick, test_bucket_edges);
           ("recording and stats", `Quick, test_hist_recording);
           ("percentile estimates", `Quick, test_hist_percentiles);
+          ("percentile edge cases", `Quick, test_percentile_edge_cases);
+          ("exporters with edge values", `Quick, test_exporters_with_edge_values);
         ] );
       ( "naming",
         [ ("natural metric order", `Quick, test_nat_compare) ] );

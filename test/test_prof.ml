@@ -1,0 +1,194 @@
+(* Tests for the host-side self-profiling plane: disarmed hooks are
+   no-ops, the call tree and flat table aggregate enter/leave frames
+   (including recursion and token unwinding across skipped leaves),
+   counters and peak gauges record, the three exporters produce
+   well-formed output, and — the plane's core contract — the qcheck
+   property that a seeded backup run with profiling armed exports
+   byte-identical obs traces, metrics, and tape bytes as the same run
+   with profiling off. *)
+
+module Prof = Repro_prof.Prof
+module Obs = Repro_obs.Obs
+module Volume = Repro_block.Volume
+module Library = Repro_tape.Library
+module Fs = Repro_wafl.Fs
+module Strategy = Repro_backup.Strategy
+module Engine = Repro_backup.Engine
+module Clock = Repro_sim.Clock
+module Generator = Repro_workload.Generator
+module Serde = Repro_util.Serde
+
+let checki = Alcotest.(check int)
+let checkb = Alcotest.(check bool)
+
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub haystack i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+let row s name = List.find_opt (fun r -> r.Prof.r_name = name) s.Prof.s_rows
+
+(* ----------------------------- disarmed ------------------------------ *)
+
+let test_disarmed_is_noop () =
+  let p = Prof.probe "t.disarmed" in
+  let c = Prof.counter "t.disarmed_c" in
+  checkb "not enabled" false (Prof.enabled ());
+  checki "enter returns 0 when off" 0 (Prof.enter p);
+  Prof.leave 0;
+  Prof.add c 5;
+  Prof.peak c 9;
+  checkb "with_probe passes value through" true (Prof.with_probe p (fun () -> true));
+  (* none of that left a trace on a profile armed afterwards *)
+  let t = Prof.create () in
+  Prof.with_armed t (fun () -> ());
+  let s = Prof.summary t in
+  checki "no rows" 0 (List.length s.Prof.s_rows);
+  checki "no counters" 0 (List.length s.Prof.s_counters)
+
+(* ---------------------------- aggregation ---------------------------- *)
+
+let test_aggregation () =
+  let outer = Prof.probe "t.outer" in
+  let inner = Prof.probe "t.inner" in
+  let c = Prof.counter "t.count" in
+  let pk = Prof.counter "t.peak" in
+  let t = Prof.create () in
+  Prof.with_armed t (fun () ->
+      for _ = 1 to 3 do
+        Prof.with_probe outer (fun () ->
+            Prof.add c 2;
+            Prof.with_probe inner (fun () -> ignore (Sys.opaque_identity (String.make 64 'x'))))
+      done;
+      Prof.peak pk 4;
+      Prof.peak pk 2);
+  let s = Prof.summary t in
+  checkb "armed" false (Prof.enabled ());
+  (match (row s "t.outer", row s "t.inner") with
+  | Some o, Some i ->
+    checki "outer calls" 3 o.Prof.r_calls;
+    checki "inner calls" 3 i.Prof.r_calls;
+    checkb "outer self <= total" true (o.Prof.r_self_s <= o.Prof.r_total_s +. 1e-12);
+    checkb "inner total <= outer total" true (i.Prof.r_total_s <= o.Prof.r_total_s +. 1e-12);
+    checkb "inner allocated" true (i.Prof.r_alloc_b > 0.0)
+  | _ -> Alcotest.fail "missing probe rows");
+  checkb "counter recorded" true (List.assoc_opt "t.count" s.Prof.s_counters = Some 6);
+  checkb "peak keeps max" true (List.assoc_opt "t.peak" s.Prof.s_peaks = Some 4);
+  checkb "wall time positive" true (s.Prof.s_wall_s >= 0.0);
+  (* a second armed window accumulates on the same profile *)
+  Prof.with_armed t (fun () -> Prof.with_probe outer (fun () -> ()));
+  let s2 = Prof.summary t in
+  (match row s2 "t.outer" with
+  | Some o -> checki "calls accumulate across windows" 4 o.Prof.r_calls
+  | None -> Alcotest.fail "row vanished")
+
+let test_recursion_and_unwind () =
+  let r = Prof.probe "t.rec" in
+  let a = Prof.probe "t.a" in
+  let b = Prof.probe "t.b" in
+  let t = Prof.create () in
+  Prof.with_armed t (fun () ->
+      (* direct recursion: three nested frames of the same probe *)
+      let rec go n = if n > 0 then Prof.with_probe r (fun () -> go (n - 1)) in
+      go 3;
+      (* token unwind: leaving the outer token closes the inner frame
+         whose leave was skipped (exception-style unwind) *)
+      let tok_a = Prof.enter a in
+      let _tok_b = Prof.enter b in
+      Prof.leave tok_a);
+  let s = Prof.summary t in
+  (match row s "t.rec" with
+  | Some rr ->
+    checki "recursive calls all counted" 3 rr.Prof.r_calls;
+    (* total charged once at the outermost frame, so total <= wall *)
+    checkb "recursion not double counted" true (rr.Prof.r_total_s <= s.Prof.s_wall_s +. 1e-9)
+  | None -> Alcotest.fail "missing recursive row");
+  (match (row s "t.a", row s "t.b") with
+  | Some ra, Some rb ->
+    checki "outer frame closed" 1 ra.Prof.r_calls;
+    checki "abandoned inner frame closed too" 1 rb.Prof.r_calls
+  | _ -> Alcotest.fail "missing unwind rows")
+
+(* ----------------------------- exporters ----------------------------- *)
+
+let test_exporters () =
+  let p1 = Prof.probe "t.exp_parent" in
+  let p2 = Prof.probe "t.exp_child" in
+  let t = Prof.create () in
+  Prof.with_armed t (fun () ->
+      Prof.with_probe p1 (fun () -> Prof.with_probe p2 (fun () -> ())));
+  let folded = Prof.folded t in
+  checkb "folded has a root line" true (contains folded "all ");
+  checkb "folded has the nested stack" true
+    (contains folded "all;t.exp_parent;t.exp_child ");
+  (* folded lines are sorted *)
+  let lines = List.filter (fun l -> l <> "") (String.split_on_char '\n' folded) in
+  checkb "folded sorted" true (List.sort String.compare lines = lines);
+  let jsonl = Prof.jsonl t in
+  (match String.split_on_char '\n' jsonl with
+  | meta :: _ -> checkb "meta first" true (contains meta "\"type\":\"meta\"")
+  | [] -> Alcotest.fail "empty jsonl");
+  checkb "probe lines present" true (contains jsonl "\"type\":\"probe\"");
+  checkb "probe named" true (contains jsonl "\"t.exp_child\"");
+  let buf = Buffer.create 256 in
+  let fmt = Format.formatter_of_buffer buf in
+  Prof.pp_summary fmt t;
+  Format.pp_print_flush fmt ();
+  checkb "summary mentions probe" true (contains (Buffer.contents buf) "t.exp_parent")
+
+(* --------------------------- zero feedback --------------------------- *)
+
+let make_engine ?clock ~seed () =
+  let vol = Volume.create ~label:"src" (Volume.small_geometry ~data_blocks:16384) in
+  let fs = Fs.mkfs vol in
+  let profile = { Generator.default with seed } in
+  ignore (Generator.populate ~profile ~fs ~root:"/data" ~total_bytes:400_000 ());
+  let lib = Library.create ~slots:16 ~label:"L0" () in
+  (Engine.create ?clock ~fs ~libraries:[ lib ] (), lib)
+
+(* One seeded backup; returns every byte stream the simulation produced:
+   the obs trace, the metrics registry, and the serialized tape library
+   (cartridge records and filemarks). *)
+let run_scenario ~seed ~strategy ~profiled =
+  let clock = Clock.create () in
+  let eng, lib = make_engine ~clock ~seed () in
+  let obs = Obs.create ~clock () in
+  let body () =
+    Obs.with_armed obs (fun () ->
+        ignore (Engine.backup eng ~strategy ()))
+  in
+  if profiled then begin
+    let t = Prof.create () in
+    Prof.with_armed t body;
+    (* the profile must actually have observed the run, or this property
+       tests nothing *)
+    if (Prof.summary t).Prof.s_rows = [] then
+      Alcotest.fail "profiled run recorded no probes"
+  end
+  else body ();
+  let w = Serde.writer () in
+  Library.save w lib;
+  (Obs.chrome_trace obs, Obs.metrics_jsonl obs, Serde.contents w)
+
+let prop_profiling_is_zero_feedback =
+  QCheck2.Test.make ~count:4 ~name:"profiling on/off yields identical traces and tapes"
+    QCheck2.Gen.(pair (int_range 0 1000) bool)
+    (fun (seed, physical) ->
+      let strategy = if physical then Strategy.Physical else Strategy.Logical in
+      let t1, m1, tape1 = run_scenario ~seed ~strategy ~profiled:false in
+      let t2, m2, tape2 = run_scenario ~seed ~strategy ~profiled:true in
+      String.equal t1 t2 && String.equal m1 m2 && String.equal tape1 tape2)
+
+let () =
+  Alcotest.run "prof"
+    [
+      ( "plane",
+        [
+          ("disarmed hooks are no-ops", `Quick, test_disarmed_is_noop);
+          ("aggregation", `Quick, test_aggregation);
+          ("recursion and unwind", `Quick, test_recursion_and_unwind);
+          ("exporters", `Quick, test_exporters);
+        ] );
+      ( "properties",
+        [ QCheck_alcotest.to_alcotest ~long:false prop_profiling_is_zero_feedback ] );
+    ]
