@@ -57,9 +57,17 @@ let seal w =
   Bytes.set_int32_le b (header_size - 4) (Int32.of_int crc);
   Bytes.to_string b
 
+(* One warm writer for all headers (encode completes before returning,
+   so sharing is safe) and one shared zeroed block map for the
+   canonicalized inode image — both were fresh allocations per emitted
+   header. *)
+let encode_pool = Serde.writer ~initial_size:header_size ()
+let zero_direct = Array.make Repro_wafl.Layout.ndirect 0
+
 let encode h =
   let open Serde in
-  let w = writer ~initial_size:header_size () in
+  let w = encode_pool in
+  clear w;
   write_fixed w header_magic;
   (match h with
   | Tape { level; dump_date; base_date; label; root_ino; max_inodes } ->
@@ -78,13 +86,7 @@ let encode h =
     write_u8 w t_file;
     write_u32 w ino;
     Repro_wafl.Inode.write w
-      {
-        inode with
-        direct = Array.make Repro_wafl.Layout.ndirect 0;
-        single = 0;
-        double = 0;
-        xattr_vbn = 0;
-      };
+      { inode with direct = zero_direct; single = 0; double = 0; xattr_vbn = 0 };
     write_u32 w nblocks;
     write_u32 w present_total;
     write_string w present_prefix;

@@ -144,7 +144,20 @@ let begin_span t ~attrs name =
   push t { ph = B; ev_name = name; span = id; parent; ts = now_us t; dur = 0; attrs };
   id
 
+(* Span attributes accumulate newest-first on the fast path (annotate
+   is a single rev_append of the new attrs), so closing the span is one
+   rev_append instead of the reference's reverse-then-reverse-append.
+   Both orders denote the same logical list; the reference transcription
+   of the pre-optimization code keeps them honest (Repro_util.Refpath:
+   under it annotate appends in order and end_one double-reverses). *)
+let[@inline never] end_attrs_reference stored extra =
+  List.rev_append (List.rev stored) extra
+
 let end_one t s extra =
+  let attrs =
+    if Repro_util.Refpath.enabled () then end_attrs_reference s.os_attrs extra
+    else List.rev_append s.os_attrs extra
+  in
   push t
     {
       ph = E;
@@ -153,7 +166,7 @@ let end_one t s extra =
       parent = 0;
       ts = now_us t;
       dur = 0;
-      attrs = List.rev_append (List.rev s.os_attrs) extra;
+      attrs;
     }
 
 let end_span t ~attrs id =
@@ -194,12 +207,17 @@ let with_span ?(attrs = []) name f =
 
 let observe name f = with_span name f
 
+let[@inline never] annotate_reference s attrs =
+  s.os_attrs <- s.os_attrs @ attrs
+
 let annotate attrs =
   match active () with
   | None -> ()
   | Some t -> (
     match t.stack with
-    | s :: _ -> s.os_attrs <- s.os_attrs @ attrs
+    | s :: _ ->
+      if Repro_util.Refpath.enabled () then annotate_reference s attrs
+      else s.os_attrs <- List.rev_append attrs s.os_attrs
     | [] -> ())
 
 let current_span () =
@@ -278,6 +296,19 @@ let advance secs =
   | None -> ()
   | Some t -> t.io_us <- t.io_us +. (secs *. 1e6)
 
+(* The derived metric names for an op are interned: [io] runs once per
+   simulated device operation, and without this each call allocates the
+   same three strings again. *)
+let io_names : (string, string * string * string) Hashtbl.t = Hashtbl.create 16
+
+let io_name_triple op =
+  match Hashtbl.find_opt io_names op with
+  | Some names -> names
+  | None ->
+    let names = (op ^ ".ops", op ^ ".bytes", op ^ ".latency_us") in
+    Hashtbl.add io_names op names;
+    names
+
 let io ~op ~device ?(addr = -1) ~bytes dur_s =
   match active () with
   | None -> ()
@@ -290,9 +321,10 @@ let io ~op ~device ?(addr = -1) ~bytes dur_s =
     in
     push t { ph = X; ev_name = op; span; parent = 0; ts = now_us t; dur; attrs };
     t.io_us <- t.io_us +. (dur_s *. 1e6);
-    counter_on t (op ^ ".ops") 1;
-    counter_on t (op ^ ".bytes") bytes;
-    hist_on t (op ^ ".latency_us") dur
+    let ops_name, bytes_name, lat_name = io_name_triple op in
+    counter_on t ops_name 1;
+    counter_on t bytes_name bytes;
+    hist_on t lat_name dur
 
 let sample ?at name v =
   match active () with

@@ -8,10 +8,18 @@ let c_stream_bytes = Repro_prof.Prof.counter "tape.bytes_streamed"
 
 type backend = { be_put : string -> unit; be_mark : unit -> unit }
 
+(* The fast stage is a reused [Bytes] with an explicit length: full
+   records are emitted straight from it by offset and the remainder is
+   blitted back to the front, instead of the reference Buffer's
+   contents-copy + sub + re-add round trip per record. Which stage a
+   sink gets is decided once, at creation (Repro_util.Refpath). *)
+type fast_stage = { mutable stage : Bytes.t; mutable len : int }
+type stage = Fast of fast_stage | Reference of Buffer.t
+
 type sink = {
   be : backend;
   record_bytes : int;
-  buf : Buffer.t;
+  st : stage;
   mutable written : int;
 }
 
@@ -32,31 +40,70 @@ let library_backend lib =
 
 let sink_to ?(record_bytes = default_record_bytes) be =
   if record_bytes <= 0 then invalid_arg "Tapeio.sink";
-  { be; record_bytes; buf = Buffer.create record_bytes; written = 0 }
+  let st =
+    if Repro_util.Refpath.enabled () then
+      Reference (Buffer.create record_bytes)
+    else Fast { stage = Bytes.create (2 * record_bytes); len = 0 }
+  in
+  { be; record_bytes; st; written = 0 }
 
 let sink ?record_bytes lib = sink_to ?record_bytes (library_backend lib)
 
-let flush_full t =
-  while Buffer.length t.buf >= t.record_bytes do
-    let all = Buffer.contents t.buf in
+let[@inline never] reference_output t buf s =
+  Buffer.add_string buf s;
+  while Buffer.length buf >= t.record_bytes do
+    let all = Buffer.contents buf in
     t.be.be_put (String.sub all 0 t.record_bytes);
-    Buffer.clear t.buf;
-    Buffer.add_substring t.buf all t.record_bytes (String.length all - t.record_bytes)
+    Buffer.clear buf;
+    Buffer.add_substring buf all t.record_bytes
+      (String.length all - t.record_bytes)
   done
+
+let fast_output t f s =
+  let slen = String.length s in
+  let cap = Bytes.length f.stage in
+  if f.len + slen > cap then begin
+    let ncap = ref (cap * 2) in
+    while f.len + slen > !ncap do
+      ncap := !ncap * 2
+    done;
+    let nb = Bytes.create !ncap in
+    Bytes.blit f.stage 0 nb 0 f.len;
+    f.stage <- nb
+  end;
+  Bytes.blit_string s 0 f.stage f.len slen;
+  f.len <- f.len + slen;
+  if f.len >= t.record_bytes then begin
+    let off = ref 0 in
+    while f.len - !off >= t.record_bytes do
+      t.be.be_put (Bytes.sub_string f.stage !off t.record_bytes);
+      off := !off + t.record_bytes
+    done;
+    Bytes.blit f.stage !off f.stage 0 (f.len - !off);
+    f.len <- f.len - !off
+  end
 
 let output t s =
   let tok = Repro_prof.Prof.enter p_output in
-  Buffer.add_string t.buf s;
   t.written <- t.written + String.length s;
-  flush_full t;
+  (match t.st with
+  | Fast f -> fast_output t f s
+  | Reference buf -> reference_output t buf s);
   Repro_prof.Prof.leave tok;
   if tok > 0 then Repro_prof.Prof.add c_stream_bytes (String.length s)
 
 let close_sink t =
-  if Buffer.length t.buf > 0 then begin
-    t.be.be_put (Buffer.contents t.buf);
-    Buffer.clear t.buf
-  end;
+  (match t.st with
+  | Fast f ->
+    if f.len > 0 then begin
+      t.be.be_put (Bytes.sub_string f.stage 0 f.len);
+      f.len <- 0
+    end
+  | Reference buf ->
+    if Buffer.length buf > 0 then begin
+      t.be.be_put (Buffer.contents buf);
+      Buffer.clear buf
+    end);
   t.be.be_mark ();
   Repro_obs.Obs.hist "tape.stream_bytes" t.written
 

@@ -9,7 +9,14 @@ type t
 
 val init : t
 val update_string : t -> string -> t
+
 val update_substring : t -> string -> int -> int -> t
+(** Slicing-by-8 on the fast path; the original bytewise loop is the
+    {!Refpath} reference. Both compute the same function. *)
+
+val update_byte : t -> int -> t
+(** Feed a single byte (low 8 bits of the int). *)
+
 val finish : t -> int
 (** The final CRC as a non-negative int in [0, 2^32). *)
 

@@ -1,0 +1,7 @@
+let reference = ref false
+let enabled () = !reference
+
+let with_reference f =
+  let prev = !reference in
+  reference := true;
+  Fun.protect ~finally:(fun () -> reference := prev) f

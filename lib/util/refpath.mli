@@ -1,0 +1,21 @@
+(** Reference-path selection for the differential test harness.
+
+    The simulator's hot paths (event queue, tape blocking, wire framing,
+    span attributes) each keep two implementations: the optimized one
+    that production code runs, and an [@inline never] reference
+    transcription of the original algorithm. The differential harness
+    ([test/differential.ml]) runs a whole scenario once per path and
+    asserts every byte stream — tape records, chrome traces, metrics,
+    catalogs, restored volumes — is identical.
+
+    The check below follows the same discipline as the fault/obs/prof
+    planes: a single global load-and-branch, false in production. *)
+
+val enabled : unit -> bool
+(** [true] only inside {!with_reference}. Hot paths branch on this to
+    select the reference implementation. *)
+
+val with_reference : (unit -> 'a) -> 'a
+(** Run [f] with the reference paths selected, restoring the previous
+    selection on exit (including exceptional exit). Used only by
+    tests. *)

@@ -35,6 +35,7 @@ let write_string w s =
 let write_fixed w s = Buffer.add_string w s
 let write_bytes w b = Buffer.add_bytes w b
 let writer_length w = Buffer.length w
+let clear w = Buffer.clear w
 let contents w = Buffer.contents w
 
 type reader = { data : string; mutable pos : int }

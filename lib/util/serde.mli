@@ -41,6 +41,10 @@ val write_bytes : writer -> bytes -> unit
 val writer_length : writer -> int
 val contents : writer -> string
 
+val clear : writer -> unit
+(** Empty the writer, keeping its storage — for pooled writers on hot
+    paths. *)
+
 (** {1 Reader} *)
 
 type reader

@@ -1,0 +1,111 @@
+(* The differential suite (see differential.ml): every optimized hot
+   path — the indexed event queue, the tape blocking layer, the wire
+   framing, the span-attribute path — must produce byte-identical
+   artifacts to its [@inline never] reference transcription, across
+   seeds and both strategies, locally and over the network plane; and
+   the checked-in pre-optimization goldens must still be reproduced
+   byte for byte. *)
+
+module D = Differential
+module Strategy = Repro_backup.Strategy
+
+let seeds = [ 1; 42; 1999 ]
+
+let strategies =
+  [ ("logical", Strategy.Logical); ("physical", Strategy.Physical) ]
+
+let test_ref_equals_fast ~remote (sname, strategy) seed () =
+  let fast = D.run ~remote ~seed ~strategy () in
+  let reference = D.run ~remote ~reference:true ~seed ~strategy () in
+  D.check_identical
+    (Printf.sprintf "%s seed %d%s" sname seed (if remote then " remote" else ""))
+    fast reference
+
+let test_restore_ref_equals_fast (sname, strategy) () =
+  let fast = D.run ~restore:true ~seed:42 ~strategy () in
+  let reference = D.run ~restore:true ~reference:true ~seed:42 ~strategy () in
+  D.check_identical (sname ^ " with restore") fast reference
+
+let test_deterministic () =
+  let a = D.run ~seed:7 ~strategy:Strategy.Logical () in
+  let b = D.run ~seed:7 ~strategy:Strategy.Logical () in
+  D.check_identical "same seed twice" a b
+
+(* ------------------------------ goldens ------------------------------ *)
+
+(* The golden scenario streams a seeded logical dump through every hot
+   seam — dump, tape blocking, mover, session, frame, remote tape — and
+   its tape bytes and chrome trace were captured before the fast paths
+   existed. Regenerate (only when a format deliberately changes) with
+   DIFF_FIXTURES_DIR=$PWD/test/fixtures dune exec test/test_differential.exe *)
+let golden_run () =
+  D.run ~remote:true ~seed:42 ~strategy:Strategy.Logical ~blocks:2048
+    ~bytes:60_000 ~profile:D.tiny_profile ()
+
+let golden_files = [ ("golden_tape_s42.bin", fun (a : D.artifacts) -> a.D.a_tapes); ("golden_trace_s42.json", fun (a : D.artifacts) -> a.D.a_trace) ]
+
+(* Under `dune runtest` the cwd is the sandboxed test dir (fixtures/
+   alongside); under a bare `dune exec` it is the workspace root. *)
+let fixtures_dir () =
+  if Sys.file_exists "fixtures" then "fixtures" else "test/fixtures"
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let write_file path s =
+  let oc = open_out_bin path in
+  output_string oc s;
+  close_out oc
+
+let test_goldens () =
+  let a = golden_run () in
+  match Sys.getenv_opt "DIFF_FIXTURES_DIR" with
+  | Some dir ->
+    List.iter
+      (fun (name, get) -> write_file (Filename.concat dir name) (get a))
+      golden_files;
+    Printf.printf "regenerated %d golden fixtures into %s\n"
+      (List.length golden_files) dir
+  | None ->
+    List.iter
+      (fun (name, get) ->
+        let want = read_file (Filename.concat (fixtures_dir ()) name) in
+        let got = get a in
+        if not (String.equal want got) then
+          Alcotest.failf
+            "golden %s no longer reproduced (first diff at byte %d; lengths %d vs %d)"
+            name (D.first_diff want got) (String.length want) (String.length got))
+      golden_files
+
+let () =
+  let case ~remote s seed =
+    Alcotest.test_case
+      (Printf.sprintf "%s seed %d" (fst s) seed)
+      `Quick
+      (test_ref_equals_fast ~remote s seed)
+  in
+  Alcotest.run "differential"
+    [
+      ( "reference==fast local",
+        List.concat_map
+          (fun s -> List.map (case ~remote:false s) seeds)
+          strategies );
+      ( "reference==fast remote",
+        List.map (fun s -> case ~remote:true s 42) strategies );
+      ( "reference==fast with restore",
+        List.map
+          (fun s ->
+            Alcotest.test_case (fst s) `Quick (test_restore_ref_equals_fast s))
+          strategies );
+      ( "goldens",
+        [
+          Alcotest.test_case "same seed twice is identical" `Quick
+            test_deterministic;
+          Alcotest.test_case "pre-optimization goldens reproduced" `Quick
+            test_goldens;
+        ] );
+    ]

@@ -14,9 +14,9 @@ module Fs = Repro_wafl.Fs
 module Strategy = Repro_backup.Strategy
 module Catalog = Repro_backup.Catalog
 module Engine = Repro_backup.Engine
-module Generator = Repro_workload.Generator
 module Compare = Repro_workload.Compare
 module Serde = Repro_util.Serde
+module Refpath = Repro_util.Refpath
 
 let checki = Alcotest.(check int)
 let checkb = Alcotest.(check bool)
@@ -45,6 +45,18 @@ let test_frame_corruption =
         (* every byte of the image is covered: magic check, CRC over
            seq+payload, or the length prefix failing the read *)
         false)
+
+(* The pooled-buffer/byte-fed-CRC encode must produce the same image as
+   the reference writer-per-frame transcription. *)
+let test_frame_fast_equals_reference =
+  QCheck.Test.make ~count:200 ~name:"frame fast path equals reference bytes"
+    QCheck.(pair small_nat (string_of_size Gen.(0 -- 2000)))
+    (fun (seq, payload) ->
+      let fast = Frame.encode ~seq payload in
+      let reference =
+        Refpath.with_reference (fun () -> Frame.encode ~seq payload)
+      in
+      String.equal fast reference)
 
 let test_frame_sizes () =
   checks "magic" "RNF1" Frame.magic;
@@ -138,13 +150,13 @@ let test_session_partition () =
 
 (* ------------------------------ engine ------------------------------- *)
 
-let make_engine ?(seed = 1) ?(blocks = 16384) () =
-  let vol = Volume.create ~label:"src" (Volume.small_geometry ~data_blocks:blocks) in
-  let fs = Fs.mkfs vol in
-  let profile = { Generator.default with Generator.seed } in
-  ignore (Generator.populate ~profile ~fs ~root:"/data" ~total_bytes:700_000 ());
-  let libs = [ Library.create ~slots:16 ~label:"local0" () ] in
-  (Engine.create ~fs ~libraries:libs (), fs)
+(* The engine fixture comes from the shared differential harness, with
+   this suite's heavier workload. *)
+let make_engine ?(seed = 1) ?blocks () =
+  let eng, fs, _libs =
+    Differential.make_engine ?blocks ~bytes:700_000 ~seed ()
+  in
+  (eng, fs)
 
 let attach ?link_params eng =
   Engine.attach_remote eng ~host:"vault" ?link_params
@@ -314,6 +326,7 @@ let () =
         [
           q test_frame_roundtrip;
           q test_frame_corruption;
+          q test_frame_fast_equals_reference;
           Alcotest.test_case "sizes" `Quick test_frame_sizes;
         ] );
       ( "session",

@@ -8,15 +8,7 @@
    with profiling off. *)
 
 module Prof = Repro_prof.Prof
-module Obs = Repro_obs.Obs
-module Volume = Repro_block.Volume
-module Library = Repro_tape.Library
-module Fs = Repro_wafl.Fs
 module Strategy = Repro_backup.Strategy
-module Engine = Repro_backup.Engine
-module Clock = Repro_sim.Clock
-module Generator = Repro_workload.Generator
-module Serde = Repro_util.Serde
 
 let checki = Alcotest.(check int)
 let checkb = Alcotest.(check bool)
@@ -138,46 +130,17 @@ let test_exporters () =
 
 (* --------------------------- zero feedback --------------------------- *)
 
-let make_engine ?clock ~seed () =
-  let vol = Volume.create ~label:"src" (Volume.small_geometry ~data_blocks:16384) in
-  let fs = Fs.mkfs vol in
-  let profile = { Generator.default with seed } in
-  ignore (Generator.populate ~profile ~fs ~root:"/data" ~total_bytes:400_000 ());
-  let lib = Library.create ~slots:16 ~label:"L0" () in
-  (Engine.create ?clock ~fs ~libraries:[ lib ] (), lib)
-
-(* One seeded backup; returns every byte stream the simulation produced:
-   the obs trace, the metrics registry, and the serialized tape library
-   (cartridge records and filemarks). *)
-let run_scenario ~seed ~strategy ~profiled =
-  let clock = Clock.create () in
-  let eng, lib = make_engine ~clock ~seed () in
-  let obs = Obs.create ~clock () in
-  let body () =
-    Obs.with_armed obs (fun () ->
-        ignore (Engine.backup eng ~strategy ()))
-  in
-  if profiled then begin
-    let t = Prof.create () in
-    Prof.with_armed t body;
-    (* the profile must actually have observed the run, or this property
-       tests nothing *)
-    if (Prof.summary t).Prof.s_rows = [] then
-      Alcotest.fail "profiled run recorded no probes"
-  end
-  else body ();
-  let w = Serde.writer () in
-  Library.save w lib;
-  (Obs.chrome_trace obs, Obs.metrics_jsonl obs, Serde.contents w)
-
+(* The scenario and byte capture live in the shared differential
+   harness (Differential.run); [~profiled] arms a host profile around
+   the identical run and asserts it observed something. *)
 let prop_profiling_is_zero_feedback =
   QCheck2.Test.make ~count:4 ~name:"profiling on/off yields identical traces and tapes"
     QCheck2.Gen.(pair (int_range 0 1000) bool)
     (fun (seed, physical) ->
       let strategy = if physical then Strategy.Physical else Strategy.Logical in
-      let t1, m1, tape1 = run_scenario ~seed ~strategy ~profiled:false in
-      let t2, m2, tape2 = run_scenario ~seed ~strategy ~profiled:true in
-      String.equal t1 t2 && String.equal m1 m2 && String.equal tape1 tape2)
+      let plain = Differential.run ~bytes:400_000 ~seed ~strategy () in
+      let profiled = Differential.run ~profiled:true ~bytes:400_000 ~seed ~strategy () in
+      Differential.agree plain profiled)
 
 let () =
   Alcotest.run "prof"

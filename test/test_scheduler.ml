@@ -5,16 +5,11 @@
    {1, 2, 4}), and simulated elapsed time scales with drives asymmetrically
    (physical speedup at 4 drives exceeds logical, the Table 4/5 shape). *)
 
-module Volume = Repro_block.Volume
-module Library = Repro_tape.Library
-module Fs = Repro_wafl.Fs
 module Strategy = Repro_backup.Strategy
 module Catalog = Repro_backup.Catalog
 module Engine = Repro_backup.Engine
 module Scheduler = Repro_backup.Scheduler
 module Pipeline = Repro_sim.Pipeline
-module Generator = Repro_workload.Generator
-module Compare = Repro_workload.Compare
 
 let checki = Alcotest.(check int)
 let checkb = Alcotest.(check bool)
@@ -138,37 +133,17 @@ let test_scheduler_fault_semantics () =
 
 (* --------------------------- engine fixtures ------------------------- *)
 
-let make_engine ?(blocks = 16384) ?(bytes = 400_000) ~seed () =
-  let vol = Volume.create ~label:"src" (Volume.small_geometry ~data_blocks:blocks) in
-  let fs = Fs.mkfs vol in
-  let profile = { Generator.default with seed } in
-  ignore (Generator.populate ~profile ~fs ~root:"/data" ~total_bytes:bytes ());
-  let libs =
-    List.init 4 (fun i -> Library.create ~slots:16 ~label:(Printf.sprintf "S%d" i) ())
+(* Fixtures and the restore-tree comparison come from the shared
+   differential harness; this suite only varies the stacker count. *)
+let make_engine ?blocks ?bytes ~seed () =
+  let eng, fs, _libs =
+    Differential.make_engine ?blocks ?bytes ~libraries:4 ~seed ()
   in
-  (Engine.create ~fs ~libraries:libs (), fs)
+  (eng, fs)
 
-let drive_pool k = List.init k Fun.id
-
-let backup eng ~strategy ~parts ~drives =
-  match strategy with
-  | Strategy.Logical ->
-    Engine.backup eng ~strategy ~subtree:"/data" ~parts ~drives ()
-  | Strategy.Physical -> Engine.backup eng ~strategy ~label:"vol" ~parts ~drives ()
-
-(* Restore into a fresh destination and compare against [src_fs]. *)
-let restore_matches eng ~strategy ~concurrency ~src_fs =
-  match strategy with
-  | Strategy.Logical ->
-    let dvol = Volume.create ~label:"dst" (Volume.small_geometry ~data_blocks:16384) in
-    let dfs = Fs.mkfs dvol in
-    ignore (Engine.restore_logical eng ~label:"/data" ~fs:dfs ~target:"/r" ~concurrency ());
-    Compare.trees ~src:(src_fs, "/data") ~dst:(dfs, "/r") ()
-  | Strategy.Physical ->
-    let nvol = Volume.create ~label:"new" (Volume.small_geometry ~data_blocks:16384) in
-    ignore (Engine.restore_physical eng ~label:"vol" ~volume:nvol ~concurrency ());
-    let nfs = Fs.mount nvol in
-    Compare.trees ~src:(src_fs, "/data") ~dst:(nfs, "/data") ()
+let drive_pool = Differential.drive_pool
+let backup = Differential.backup
+let restore_matches = Differential.restore_tree_matches
 
 (* --------------------------- properties ------------------------------ *)
 

@@ -3,6 +3,9 @@
 
 module Clock = Repro_sim.Clock
 module Engine = Repro_sim.Engine
+module Eventq = Repro_sim.Eventq
+module Heap = Repro_util.Heap
+module Refpath = Repro_util.Refpath
 module Resource = Repro_sim.Resource
 module Pipeline = Repro_sim.Pipeline
 module Stats = Repro_sim.Stats
@@ -59,6 +62,102 @@ let test_engine_run_until () =
   checki "two fired" 2 !fired;
   checkf "clock at horizon" 2.5 (Engine.now e);
   checki "one pending" 1 (Engine.pending e)
+
+(* ---------------------------- event queue ----------------------------- *)
+
+(* Times are drawn from a small set so ties are common: the tie-break by
+   insertion order is exactly what these properties pin down. *)
+let times_gen =
+  QCheck2.Gen.(list_size (int_range 0 200) (map (fun t -> Float.of_int t /. 4.0) (int_range 0 9)))
+
+(* Pop order equals a stable sort by time of the pushed sequence — the
+   indexed heap is a permutation-sorting machine with insertion-order
+   ties, no more and no less. *)
+let prop_eventq_pops_stable_sorted =
+  QCheck2.Test.make ~count:100 ~name:"eventq pop order = stable sort by time"
+    times_gen
+    (fun times ->
+      let q = Eventq.create () in
+      let popped = ref [] in
+      List.iteri
+        (fun i t -> Eventq.push q t (fun () -> popped := (t, i) :: !popped))
+        times;
+      let expected =
+        List.stable_sort
+          (fun (a, _) (b, _) -> Float.compare a b)
+          (List.mapi (fun i t -> (t, i)) times)
+      in
+      List.iter
+        (fun (t, _) ->
+          if Eventq.min_time q <> t then Alcotest.fail "min_time disagrees";
+          (Eventq.pop q) ())
+        expected;
+      Eventq.is_empty q && List.rev !popped = expected)
+
+(* The indexed queue agrees with the generic reference heap under
+   interleaved pushes and pops, not just push-all-pop-all. *)
+let prop_eventq_matches_reference_heap =
+  QCheck2.Test.make ~count:100
+    ~name:"eventq = reference heap under interleaved ops"
+    QCheck2.Gen.(list_size (int_range 0 200) (pair (int_range 0 9) bool))
+    (fun ops ->
+      let q = Eventq.create () in
+      let h =
+        Heap.create ~cmp:(fun (a, _) (b, _) -> Float.compare a b)
+      in
+      let from_q = ref [] and from_h = ref [] in
+      let i = ref 0 in
+      List.iter
+        (fun (t, pop) ->
+          if pop then begin
+            (match Heap.pop h with
+            | Some (_, j) -> from_h := j :: !from_h
+            | None -> ());
+            if not (Eventq.is_empty q) then (Eventq.pop q) ()
+          end
+          else begin
+            let t = Float.of_int t /. 4.0 in
+            let j = !i in
+            incr i;
+            Heap.push h (t, j);
+            Eventq.push q t (fun () -> from_q := j :: !from_q)
+          end)
+        ops;
+      while not (Eventq.is_empty q) do
+        (Eventq.pop q) ()
+      done;
+      let rec drain () =
+        match Heap.pop h with
+        | Some (_, j) ->
+          from_h := j :: !from_h;
+          drain ()
+        | None -> ()
+      in
+      drain ();
+      !from_q = !from_h)
+
+(* Equal-time events dispatch in scheduling order through the full
+   engine, and the fast queue dispatches exactly like the reference one
+   (Repro_util.Refpath selects it at Engine.create). *)
+let dispatch_order ~reference times =
+  let go () =
+    let e = Engine.create () in
+    let log = ref [] in
+    List.iteri (fun i t -> Engine.schedule_at e t (fun () -> log := i :: !log)) times;
+    Engine.run e;
+    List.rev !log
+  in
+  if reference then Refpath.with_reference go else go ()
+
+let prop_engine_dispatch_matches_reference =
+  QCheck2.Test.make ~count:100 ~name:"engine dispatch order = reference heap order"
+    times_gen
+    (fun times ->
+      dispatch_order ~reference:false times = dispatch_order ~reference:true times)
+
+let test_equal_time_stability () =
+  let order = dispatch_order ~reference:false (List.init 100 (fun _ -> 1.0)) in
+  Alcotest.(check (list int)) "ties fire in insertion order" (List.init 100 Fun.id) order
 
 let test_resource_accounting () =
   let r = Resource.create "disk" in
@@ -220,6 +319,14 @@ let () =
           Alcotest.test_case "event ordering" `Quick test_engine_ordering;
           Alcotest.test_case "cascading events" `Quick test_engine_cascade;
           Alcotest.test_case "run_until horizon" `Quick test_engine_run_until;
+        ] );
+      ( "event queue",
+        [
+          QCheck_alcotest.to_alcotest ~long:false prop_eventq_pops_stable_sorted;
+          QCheck_alcotest.to_alcotest ~long:false prop_eventq_matches_reference_heap;
+          QCheck_alcotest.to_alcotest ~long:false prop_engine_dispatch_matches_reference;
+          Alcotest.test_case "equal-time events are stable" `Quick
+            test_equal_time_stability;
         ] );
       ( "resources",
         [

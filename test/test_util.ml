@@ -177,6 +177,21 @@ let test_crc32_incremental () =
   in
   checki "incremental = one-shot" whole stepped
 
+(* The slicing-by-8 fast path computes the same function as the bytewise
+   reference loop (Repro_util.Refpath selects it), for every offset and
+   length — including the head/tail cases shorter than one 8-byte step. *)
+let prop_crc32_sliced_equals_bytewise =
+  QCheck2.Test.make ~name:"crc32: slicing-by-8 = bytewise reference"
+    QCheck2.Gen.(triple (string_size (int_range 0 300)) (int_bound 32) (int_bound 10_000))
+    (fun (s, pos, len) ->
+      let pos = if String.length s = 0 then 0 else pos mod String.length s in
+      let len = len mod (String.length s - pos + 1) in
+      let fast = Crc32.substring s pos len in
+      let reference =
+        Repro_util.Refpath.with_reference (fun () -> Crc32.substring s pos len)
+      in
+      fast = reference)
+
 let prop_crc32_detects_flip =
   QCheck2.Test.make ~name:"crc32: single byte flip always detected"
     QCheck2.Gen.(pair (string_size (int_range 1 500)) (int_bound 10_000))
@@ -346,7 +361,8 @@ let () =
           Alcotest.test_case "standard vectors" `Quick test_crc32_vectors;
           Alcotest.test_case "incremental" `Quick test_crc32_incremental;
         ] );
-      qsuite "crc32 properties" [ prop_crc32_detects_flip ];
+      qsuite "crc32 properties"
+        [ prop_crc32_sliced_equals_bytewise; prop_crc32_detects_flip ];
       ( "prng",
         [
           Alcotest.test_case "determinism" `Quick test_prng_determinism;
