@@ -16,6 +16,13 @@
 module Experiment = Repro_backup.Experiment
 module Report = Repro_backup.Report
 module Engine = Repro_backup.Engine
+
+(* Build a validated job description and run it. *)
+let backup eng ~strategy ?level ?subtree ?exclude ?label ?parts ?drives ?resume
+    () =
+  Engine.backup_job eng
+    (Engine.Job.make ~strategy ?level ?subtree ?exclude ?label ?parts ?drives
+       ?resume ())
 module Strategy = Repro_backup.Strategy
 module Scheduler = Repro_backup.Scheduler
 module Pipeline = Repro_sim.Pipeline
@@ -40,6 +47,7 @@ module Fault = Repro_fault.Fault
 module Retry = Repro_fault.Retry
 module Obs = Repro_obs.Obs
 module Prof = Repro_prof.Prof
+module Fleet = Repro_fleet.Fleet
 
 let ppf = Format.std_formatter
 let say fmt = Format.fprintf ppf (fmt ^^ "@.")
@@ -590,7 +598,7 @@ let run_obs () =
 (* Part 6: data-plane drive scaling                                     *)
 
 (* The claim behind Tables 4/5, this time from the engine itself rather
-   than the fluid solver: Engine.backup over a pool of 1/2/4 stackers,
+   than the fluid solver: Engine.backup_job over a pool of 1/2/4 stackers,
    elapsed simulated time from the drive-pool scheduler. Physical dump's
    sequential reads scale with the drives (paper: 3.6x at four); logical
    dump's inode-order reads saturate the source array first (paper:
@@ -618,9 +626,9 @@ let run_scaling () =
     let drives = List.init k Fun.id in
     (match strategy with
     | Strategy.Logical ->
-      ignore (Engine.backup eng ~strategy ~subtree:"/data" ~parts ~drives ())
+      ignore (backup eng ~strategy ~subtree:"/data" ~parts ~drives ())
     | Strategy.Physical ->
-      ignore (Engine.backup eng ~strategy ~label:"vol" ~parts ~drives ()));
+      ignore (backup eng ~strategy ~label:"vol" ~parts ~drives ()));
     match Engine.last_stats eng with
     | Some st -> st.Scheduler.elapsed
     | None -> 0.0
@@ -789,9 +797,9 @@ let run_analysis () =
     Obs.with_armed obs (fun () ->
         match strategy with
         | Strategy.Logical ->
-          ignore (Engine.backup eng ~strategy ~subtree:"/data" ~parts ~drives ())
+          ignore (backup eng ~strategy ~subtree:"/data" ~parts ~drives ())
         | Strategy.Physical ->
-          ignore (Engine.backup eng ~strategy ~label:"vol" ~parts ~drives ()));
+          ignore (backup eng ~strategy ~label:"vol" ~parts ~drives ()));
     Analysis.analyze obs
   in
   let backup_phase (r : Analysis.report) =
@@ -1015,7 +1023,7 @@ let run_speed ?(volumes = 100) () =
     let fs = populate () in
     let eng = Engine.create ~fs ~libraries:[ Library.create ~slots:16 ~label:"sv" () ] () in
     fun () ->
-      ignore (Engine.backup eng ~strategy:Strategy.Logical ~subtree:"/data" ~parts ())
+      ignore (backup eng ~strategy:Strategy.Logical ~subtree:"/data" ~parts ())
   in
   let build_multi_remote () =
     let fs = populate () in
@@ -1105,7 +1113,7 @@ let run_speed ?(volumes = 100) () =
       List.iter
         (fun eng ->
           ignore
-            (Engine.backup eng ~strategy:Strategy.Logical ~subtree:"/data"
+            (backup eng ~strategy:Strategy.Logical ~subtree:"/data"
                ~parts:2 ()))
         engines
   in
@@ -1287,9 +1295,92 @@ let run_speed ?(volumes = 100) () =
   say "  [BENCH_speed.json written]@.";
   ok
 
+(* ------------------------------------------------------------------ *)
+(* Part 11: the fleet control plane (a 1000-volume simulated night)    *)
+
+(* Two claims from docs/FLEET.md:
+
+   (a) the night is deterministic: two same-seed runs produce identical
+       completion sets, per-volume tape CRCs and makespans, and a
+       different fleet seed passes the same gates;
+
+   (b) with every drive kept busy the night is link-limited, so
+       aggregate goodput must land within 10% of the per-link
+       bandwidth-delay bound (the sum of Link.model_goodput over
+       hosts). *)
+let run_fleet () =
+  say "== Part 11: fleet night (control plane over the generalized scheduler) ==";
+  let volumes = 1000 in
+  let night seed =
+    let spec =
+      Fleet.Spec.synth ~seed ~volumes ~hosts:2 ~drives_per_host:4 ~tenants:4
+        ~bytes_per_volume:20_000 ()
+    in
+    Fleet.run (Fleet.plan spec)
+  in
+  let fingerprint (status : Fleet.Status.t) =
+    List.map
+      (fun (c : Fleet.Status.completed) ->
+        ( c.Fleet.Status.c_volume,
+          c.Fleet.Status.c_tape_crc,
+          c.Fleet.Status.c_tape_bytes,
+          c.Fleet.Status.c_finished ))
+      status.Fleet.Status.st_completed
+  in
+  let gate ?repeat:(repeat = false) seed =
+    let r1, s1 = night seed in
+    let deterministic =
+      (not repeat)
+      ||
+      let r2, s2 = night seed in
+      fingerprint s1 = fingerprint s2
+      && r1.Fleet.rp_elapsed = r2.Fleet.rp_elapsed
+      && r1.Fleet.rp_bytes = r2.Fleet.rp_bytes
+    in
+    let ratio = r1.Fleet.rp_goodput_bytes_s /. r1.Fleet.rp_link_bound_bytes_s in
+    let complete =
+      List.length s1.Fleet.Status.st_completed = volumes
+      && r1.Fleet.rp_failed = [] && r1.Fleet.rp_unran = []
+    in
+    let bound_ok = ratio >= 0.9 && ratio <= 1.01 in
+    say
+      "  seed %4d  %4d volumes  %7.2f MB in %.1f s  goodput %.3f MB/s  \
+       link bound %.3f MB/s  ratio %.4f%s"
+      seed
+      (List.length s1.Fleet.Status.st_completed)
+      (Float.of_int r1.Fleet.rp_bytes /. 1e6)
+      r1.Fleet.rp_elapsed
+      (r1.Fleet.rp_goodput_bytes_s /. 1e6)
+      (r1.Fleet.rp_link_bound_bytes_s /. 1e6)
+      ratio
+      (if repeat then
+         if deterministic then "  deterministic: yes" else "  deterministic: NO"
+       else "");
+    (r1, ratio, deterministic, complete && bound_ok && deterministic)
+  in
+  let r42, ratio42, det42, ok42 = gate ~repeat:true 42 in
+  let _r7, ratio7, _, ok7 = gate 7 in
+  let ok = ok42 && ok7 in
+  say "  verdict:                     %s@." (if ok then "PASS" else "FAIL");
+  let tenants =
+    String.concat ","
+      (List.map
+         (fun (t, g) -> Printf.sprintf {|"%s":%.6g|} t g)
+         r42.Fleet.rp_tenant_goodput)
+  in
+  write_file "BENCH_fleet.json"
+    (Printf.sprintf
+       {|{"bench":"fleet","volumes":%d,"hosts":2,"drives_per_host":4,"tenants":4,"bytes_per_volume":20000,"seeds":[42,7],"elapsed_s":%.6g,"payload_bytes":%d,"goodput_bytes_s":%.6g,"link_bound_bytes_s":%.6g,"bound_ratio":%.6g,"bound_ratio_seed7":%.6g,"tenant_goodput_bytes_s":{%s},"deterministic":%b,"pass":%b}
+|}
+       volumes r42.Fleet.rp_elapsed r42.Fleet.rp_bytes
+       r42.Fleet.rp_goodput_bytes_s r42.Fleet.rp_link_bound_bytes_s ratio42
+       ratio7 tenants det42 ok);
+  say "  [BENCH_fleet.json written]@.";
+  ok
+
 let usage () =
   say
-    "usage: main [all|tables|ablations|micro|faults|obs|scaling|net|analysis|dr|speed [--volumes N]]";
+    "usage: main [all|tables|ablations|micro|faults|obs|scaling|net|analysis|dr|fleet|speed [--volumes N]]";
   exit 2
 
 (* `speed --volumes N` widens the fleet sweep (default 100). *)
@@ -1317,10 +1408,14 @@ let () =
     let net_ok = run_net () in
     let analysis_ok = run_analysis () in
     let dr_ok = run_dr () in
+    let fleet_ok = run_fleet () in
     let speed_ok = run_speed () in
     say "bench: all parts complete.";
-    if not (obs_ok && scaling_ok && net_ok && analysis_ok && dr_ok && speed_ok) then
-      exit 1
+    if
+      not
+        (obs_ok && scaling_ok && net_ok && analysis_ok && dr_ok && fleet_ok
+       && speed_ok)
+    then exit 1
   | "tables" -> run_tables ()
   | "ablations" -> run_ablations ()
   | "micro" -> run_microbenchmarks ()
@@ -1330,5 +1425,6 @@ let () =
   | "net" -> if not (run_net ()) then exit 1
   | "analysis" -> if not (run_analysis ()) then exit 1
   | "dr" -> if not (run_dr ()) then exit 1
+  | "fleet" -> if not (run_fleet ()) then exit 1
   | "speed" -> if not (run_speed ~volumes:(speed_volumes ()) ()) then exit 1
   | _ -> usage ()

@@ -27,6 +27,7 @@ module Link = Repro_net.Link
 module Mirror = Repro_image.Mirror
 module Repl = Repro_repl.Repl
 module Serde = Repro_util.Serde
+module Fleet = Repro_fleet.Fleet
 
 open Cmdliner
 
@@ -57,6 +58,12 @@ let handle f =
     1
   | Mirror.Error e ->
     Format.eprintf "error: %s@." (Mirror.error_message e);
+    1
+  | Engine.Job.Invalid e ->
+    Format.eprintf "error: %s@." (Engine.Job.error_message e);
+    1
+  | Fleet.Spec.Invalid e ->
+    Format.eprintf "error: %s@." (Fleet.Spec.error_message e);
     1
   | Repro_util.Serde.Corrupt m ->
     Format.eprintf "error: corrupt store: %s@." m;
@@ -95,6 +102,7 @@ let () =
       ("metrics", "Run a backup and print its metrics registry");
       ("analyze", "Run a backup and print its critical path and bottleneck verdict");
       ("mirror", "Manage scheduled replication, failover and resync");
+      ("fleet", "Plan, run or inspect a fleet-wide backup night from a spec");
       ("profile", "Run any backupctl command under the host-side self-profiler");
     ]
 
@@ -107,7 +115,7 @@ let write_file path contents =
   output_string oc contents;
   close_out oc
 
-let obs_cmds = [ "backup"; "restore"; "fault" ]
+let obs_cmds = [ "backup"; "restore"; "fault"; "fleet" ]
 
 let trace_out_arg =
   Arg.(
@@ -1411,6 +1419,131 @@ let cmd_mirror =
     (Cmd.info "mirror" ~doc:(summary "mirror"))
     Term.(const run $ store_arg $ action $ node_name $ repl_file $ upstream $ interval)
 
+(* ------------------------------- fleet ------------------------------- *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  s
+
+let cmd_fleet =
+  let run action file status_file resume storm_after storm_drives storm_abort
+      storm_seed trace_out metrics_out =
+    handle (fun () ->
+        match action with
+        | "plan" ->
+          let spec = Fleet.Spec.parse (read_file file) in
+          Fleet.pp_plan Format.std_formatter (Fleet.plan spec);
+          0
+        | "run" ->
+          let spec = Fleet.Spec.parse (read_file file) in
+          let p = Fleet.plan spec in
+          let status_path =
+            match status_file with Some s -> s | None -> file ^ ".status"
+          in
+          let resume_status =
+            if resume && Sys.file_exists status_path then
+              Some (Fleet.Status.load (Serde.reader (read_file status_path)))
+            else None
+          in
+          let storm =
+            if storm_drives > 0 then
+              Some
+                {
+                  Fleet.storm_after;
+                  storm_drives;
+                  storm_abort_after = storm_abort;
+                  storm_seed;
+                }
+            else None
+          in
+          with_obs trace_out metrics_out (fun _ ->
+              let report, status = Fleet.run ?storm ?resume:resume_status p in
+              let w = Serde.writer () in
+              Fleet.Status.save w status;
+              write_file status_path (Serde.contents w);
+              Fleet.pp_report Format.std_formatter report;
+              say "fleet catalog: %s (%d/%d volumes)" status_path
+                (List.length status.Fleet.Status.st_completed)
+                (List.length spec.Fleet.Spec.s_volumes);
+              if report.Fleet.rp_failed = [] && report.Fleet.rp_unran = [] then 0
+              else 1)
+        | "status" ->
+          let st = Fleet.Status.load (Serde.reader (read_file file)) in
+          Fleet.Status.pp Format.std_formatter st;
+          0
+        | a ->
+          say "unknown fleet action %S (expected plan, run or status)" a;
+          2)
+  in
+  let action =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"ACTION" ~doc:"plan, run or status.")
+  in
+  let file =
+    Arg.(
+      required
+      & pos 1 (some string) None
+      & info [] ~docv:"FILE"
+          ~doc:"Fleet spec file (plan, run) or fleet catalog file (status).")
+  in
+  let status_file =
+    Arg.(
+      value
+      & opt (some string) None
+      & info
+          (Usage.flag ~cmds:[ "fleet" ] [ "status-file" ])
+          ~docv:"FILE"
+          ~doc:"Fleet catalog checkpoint file (default: $(b,FILE).status).")
+  in
+  let resume =
+    Arg.(
+      value & flag
+      & info
+          (Usage.flag ~cmds:[ "fleet" ] [ "resume" ])
+          ~doc:"Skip volumes already completed in the fleet catalog.")
+  in
+  let storm_after =
+    Arg.(
+      value & opt int 0
+      & info
+          (Usage.flag ~cmds:[ "fleet" ] [ "storm-after" ])
+          ~docv:"N"
+          ~doc:"Fault storm: volumes completed before drives start dying.")
+  in
+  let storm_drives =
+    Arg.(
+      value & opt int 0
+      & info
+          (Usage.flag ~cmds:[ "fleet" ] [ "storm-drives" ])
+          ~docv:"K" ~doc:"Fault storm: drives killed (0 = no storm).")
+  in
+  let storm_abort =
+    Arg.(
+      value
+      & opt (some int) None
+      & info
+          (Usage.flag ~cmds:[ "fleet" ] [ "storm-abort" ])
+          ~docv:"N"
+          ~doc:"Fault storm: abort all admissions after $(docv) completions.")
+  in
+  let storm_seed =
+    Arg.(
+      value & opt int 1
+      & info
+          (Usage.flag ~cmds:[ "fleet" ] [ "storm-seed" ])
+          ~docv:"SEED" ~doc:"Fault storm: drive-selection seed.")
+  in
+  Cmd.v
+    (Cmd.info "fleet" ~doc:(summary "fleet"))
+    Term.(
+      const run $ action $ file $ status_file $ resume $ storm_after
+      $ storm_drives $ storm_abort $ storm_seed $ trace_out_arg
+      $ metrics_out_arg)
+
 (* ------------------------------ profile ------------------------------ *)
 
 (* Set by [run] once the command group exists, so [profile] can
@@ -1499,6 +1632,7 @@ let commands =
     cmd_metrics;
     cmd_analyze;
     cmd_mirror;
+    cmd_fleet;
     cmd_profile;
   ]
 

@@ -9,7 +9,7 @@
     records for in-flight multi-part jobs, one per (strategy, label). A
     checkpoint lists the parts whose streams are already sealed on tape,
     so a job interrupted by a hard fault can resume
-    ([Engine.backup ~resume:true]) and re-dump only the unfinished
+    ([Engine.backup_job] with [Job.make ~resume:true]) and re-dump only the unfinished
     parts. *)
 
 type entry = {

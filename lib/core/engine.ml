@@ -143,10 +143,9 @@ let net_demand ~host ~part shipment =
   | None -> []
   | Some x ->
     [
-      {
-        Scheduler.key = Printf.sprintf "net:%s#%d" host part;
-        work = x.Session.xf_elapsed_s;
-      };
+      Scheduler.demand
+        (Scheduler.Resource_id.Net { host; part })
+        x.Session.xf_elapsed_s;
     ]
 
 let note_stats t s =
@@ -189,7 +188,7 @@ let with_measured resources f =
   let ds =
     List.map
       (fun (r, b) ->
-        { Scheduler.key = Resource.name r; work = Float.max 0.0 (Resource.busy r -. b) })
+        Scheduler.demand_of_resource r (Float.max 0.0 (Resource.busy r -. b)))
       before
   in
   (v, ds)
@@ -282,12 +281,8 @@ let fresh_checkpoint t ~strategy ~level ~subtree ~drives ~label ~parts =
     ck_done = [];
   }
 
-let do_backup t ~strategy ~level ~subtree ?exclude ~drive ~drives:requested
-    ~label ~parts ~resume () =
-  if parts < 1 then invalid_arg "Engine.backup: parts must be >= 1";
-  (match requested with
-  | Some [] -> invalid_arg "Engine.backup: empty drive pool"
-  | _ -> ());
+let do_backup t ~strategy ~level ~subtree ?exclude ~drives:requested ~label
+    ~parts ~resume () =
   let ck =
     if resume then (
       match Catalog.find_checkpoint t.cat ~strategy ~label with
@@ -296,7 +291,7 @@ let do_backup t ~strategy ~level ~subtree ?exclude ~drive ~drives:requested
         raise (Fs.Error (Printf.sprintf "no interrupted backup of %S to resume" label)))
     else
       fresh_checkpoint t ~strategy ~level ~subtree
-        ~drives:(match requested with Some l -> l | None -> [ drive ])
+        ~drives:(match requested with Some l -> l | None -> [ 0 ])
         ~label ~parts
   in
   Catalog.set_checkpoint t.cat ck;
@@ -315,7 +310,7 @@ let do_backup t ~strategy ~level ~subtree ?exclude ~drive ~drives:requested
   List.iter
     (fun d ->
       if d < 0 || d >= drive_count t then
-        invalid_arg (Printf.sprintf "Engine.backup: no drive %d" d))
+        invalid_arg (Printf.sprintf "Engine.backup_job: no drive %d" d))
     drives;
   Obs.annotate
     [
@@ -422,7 +417,7 @@ let do_backup t ~strategy ~level ~subtree ?exclude ~drive ~drives:requested
             | Strategy.Physical -> t.model.image_read_bytes_s
           in
           let modeled =
-            { Scheduler.key = Resource.name disk; work = Float.of_int bytes /. rate }
+            Scheduler.demand_of_resource disk (Float.of_int bytes /. rate)
           in
           let demands = net_demand ~host ~part:p shipment @ (modeled :: measured) in
           (* Close the part's span with its demand vector: the critical-path
@@ -543,6 +538,24 @@ let do_backup t ~strategy ~level ~subtree ?exclude ~drive ~drives:requested
     }
 
 module Job = struct
+  type error =
+    | Empty_subtree
+    | Relative_subtree of string
+    | Bad_level of int
+    | Bad_parts of int
+    | Empty_pool
+    | Duplicate_drive of int
+
+  exception Invalid of error
+
+  let error_message = function
+    | Empty_subtree -> "job subtree must not be empty"
+    | Relative_subtree s -> Printf.sprintf "job subtree %S is not absolute" s
+    | Bad_level l -> Printf.sprintf "dump level %d out of range (0-9)" l
+    | Bad_parts p -> Printf.sprintf "parts must be >= 1 (got %d)" p
+    | Empty_pool -> "empty drive pool"
+    | Duplicate_drive d -> Printf.sprintf "drive %d appears twice in the pool" d
+
   type t = {
     strategy : Strategy.t;
     level : int;
@@ -556,6 +569,20 @@ module Job = struct
 
   let make ~strategy ?(level = 0) ?(subtree = "/") ?exclude ?label ?(parts = 1)
       ?drives ?(resume = false) () =
+    if subtree = "" then raise (Invalid Empty_subtree);
+    if subtree.[0] <> '/' then raise (Invalid (Relative_subtree subtree));
+    if level < 0 || level > 9 then raise (Invalid (Bad_level level));
+    if parts < 1 then raise (Invalid (Bad_parts parts));
+    (match drives with
+    | Some [] -> raise (Invalid Empty_pool)
+    | Some pool ->
+      let seen = Hashtbl.create 8 in
+      List.iter
+        (fun d ->
+          if Hashtbl.mem seen d then raise (Invalid (Duplicate_drive d));
+          Hashtbl.add seen d ())
+        pool
+    | None -> ());
     { strategy; level; subtree; exclude; label; parts; drives; resume }
 
   let label job = match job.label with Some l -> l | None -> job.subtree
@@ -581,16 +608,9 @@ let backup_job t (job : Job.t) =
   with_backup_span t ~strategy:job.Job.strategy ~label ~resume:job.Job.resume
     (fun () ->
       do_backup t ~strategy:job.Job.strategy ~level:job.Job.level
-        ~subtree:job.Job.subtree ?exclude:job.Job.exclude ~drive:0
+        ~subtree:job.Job.subtree ?exclude:job.Job.exclude
         ~drives:job.Job.drives ~label ~parts:job.Job.parts
         ~resume:job.Job.resume ())
-
-let backup t ~strategy ?(level = 0) ?(subtree = "/") ?exclude ?(drive = 0)
-    ?drives ?label ?(parts = 1) ?(resume = false) () =
-  let label = match label with Some l -> l | None -> subtree in
-  with_backup_span t ~strategy ~label ~resume (fun () ->
-      do_backup t ~strategy ~level ~subtree ?exclude ~drive ~drives ~label
-        ~parts ~resume ())
 
 (* Each part's (stream, drive) address. Entries predating multi-drive
    pools (or hand-built in tests) may carry no per-part drives; they fall
@@ -712,13 +732,10 @@ let apply_entry t session ?select ~disk ~concurrency (e : Catalog.entry) =
           (Restore.apply ?select session src, sh))
     in
     let modeled =
-      {
-        Scheduler.key = Resource.name disk;
-        work =
-          (Float.of_int r.Restore.bytes_restored /. t.model.logical_write_bytes_s)
-          +. Float.of_int r.Restore.files_restored
-             *. t.model.restore_create_latency_s;
-      }
+      Scheduler.demand_of_resource disk
+        ((Float.of_int r.Restore.bytes_restored /. t.model.logical_write_bytes_s)
+        +. Float.of_int r.Restore.files_restored
+           *. t.model.restore_create_latency_s)
     in
     let demands =
       net_demand ~host:(drive_host t drive) ~part:stream shipment
@@ -778,10 +795,8 @@ let restore_physical t ~label ~volume ?(concurrency = 1) () =
                 (Image_restore.apply ?cpu:t.cpu ~costs:t.costs ~volume src, sh))
           in
           let modeled =
-            {
-              Scheduler.key = Resource.name disk;
-              work = Float.of_int r.Image_restore.bytes_read /. t.model.image_write_bytes_s;
-            }
+            Scheduler.demand_of_resource disk
+              (Float.of_int r.Image_restore.bytes_read /. t.model.image_write_bytes_s)
           in
           let demands =
             net_demand ~host:(drive_host t drive) ~part:stream shipment

@@ -129,6 +129,22 @@ val last_stats : t -> Scheduler.stats option
     configuration — and run with {!backup_job}. *)
 
 module Job : sig
+  type error =
+    | Empty_subtree
+    | Relative_subtree of string  (** must start with ['/'] *)
+    | Bad_level of int  (** dump levels are 0-9 *)
+    | Bad_parts of int  (** at least one part stream *)
+    | Empty_pool
+    | Duplicate_drive of int
+
+  exception Invalid of error
+  (** A malformed job description, rejected by {!make} before anything
+      touches the engine — a bad level or an empty subtree fails here
+      with a typed error instead of surfacing downstream as a dump or
+      scheduler failure. *)
+
+  val error_message : error -> string
+
   type t = private {
     strategy : Strategy.t;
     level : int;  (** dump level; 0 = full *)
@@ -154,7 +170,9 @@ module Job : sig
     unit ->
     t
   (** Defaults: level 0, subtree ["/"], one part, no explicit pool, fresh
-      (non-resuming) job. *)
+      (non-resuming) job. Raises {!Invalid} on an empty or relative
+      subtree, a level outside 0-9, fewer than one part, or an empty or
+      duplicated drive pool. *)
 
   val label : t -> string
   (** The effective catalog label. *)
@@ -195,24 +213,6 @@ val backup_job : t -> Job.t -> Catalog.entry
     retransmit budget surfaces as transient and retries the same way.
     Dumpdates and the catalog entry are recorded only when the whole job
     completes. *)
-
-val backup :
-  t ->
-  strategy:Strategy.t ->
-  ?level:int ->
-  ?subtree:string ->
-  ?exclude:Repro_dump.Filter.t ->
-  ?drive:int ->
-  ?drives:int list ->
-  ?label:string ->
-  ?parts:int ->
-  ?resume:bool ->
-  unit ->
-  Catalog.entry
-(** Deprecated spelling of {!backup_job}, kept for existing callers:
-    [backup t ~strategy ...] is
-    [backup_job t (Job.make ~strategy ... ())] with [?drive] folded into
-    the pool default. New code should build a {!Job.t}. *)
 
 (** {1 Restore} *)
 

@@ -53,15 +53,25 @@ let starts_with ~prefix s =
   String.length s >= String.length prefix
   && String.sub s 0 (String.length prefix) = prefix
 
-(* Resource keys as the scheduler and the engine name them: "tape:S0",
-   "disk:filer", "cpu", "net:vault#3" / "link:vault". *)
+module Resource_id = Repro_sim.Resource_id
+
+(* Resource keys as the scheduler and the engine name them, decoded
+   through {!Resource_id.of_key} rather than ad-hoc prefix parsing. The
+   [Key] fallbacks keep the historical classification of bare "tape" /
+   "disk" / "cpu<n>" keys and of net keys without a part suffix. *)
 let class_of_key k =
-  if starts_with ~prefix:"tape:" k || k = "tape" then Some "tape"
-  else if starts_with ~prefix:"disk:" k || k = "disk" then Some "disk"
-  else if starts_with ~prefix:"cpu" k then Some "cpu"
-  else if starts_with ~prefix:"net:" k || starts_with ~prefix:"link:" k then
-    Some "wire"
-  else None
+  match Resource_id.of_key k with
+  | Resource_id.Tape _ -> Some "tape"
+  | Resource_id.Disk _ -> Some "disk"
+  | Resource_id.Cpu -> Some "cpu"
+  | Resource_id.Net _ | Resource_id.Link _ -> Some "wire"
+  | Resource_id.Drive _ | Resource_id.Tenant _ -> None
+  | Resource_id.Key s ->
+    if s = "tape" then Some "tape"
+    else if s = "disk" then Some "disk"
+    else if starts_with ~prefix:"cpu" s then Some "cpu"
+    else if starts_with ~prefix:"net:" s then Some "wire"
+    else None
 
 (* ------------------------------------------------------------------ *)
 (* Bottleneck attribution                                              *)
@@ -169,14 +179,22 @@ let sum_by_class kvs =
    the elapsed is the gating interval, so when both appear the link
    seconds are dropped rather than double counted. *)
 let seconds_of_demands demands =
-  let has_net = List.exists (fun (k, _) -> starts_with ~prefix:"net:" k) demands in
+  let is_net k =
+    match Resource_id.of_key k with
+    | Resource_id.Net _ -> true
+    | Resource_id.Key s -> starts_with ~prefix:"net:" s
+    | _ -> false
+  in
+  let has_net = List.exists (fun (k, _) -> is_net k) demands in
   let classed =
     List.filter_map
       (fun (k, v) ->
-        match class_of_key k with
-        | Some "wire" when has_net && starts_with ~prefix:"link:" k -> None
-        | Some cls -> Some (cls, v)
-        | None -> None)
+        match Resource_id.of_key k with
+        | Resource_id.Link _ when has_net -> None
+        | _ -> (
+          match class_of_key k with
+          | Some cls -> Some (cls, v)
+          | None -> None))
       demands
   in
   sum_by_class classed

@@ -13,6 +13,13 @@ module Library = Repro_tape.Library
 module Fs = Repro_wafl.Fs
 module Strategy = Repro_backup.Strategy
 module Engine = Repro_backup.Engine
+
+(* Build a validated job description and run it. *)
+let backup eng ~strategy ?level ?subtree ?exclude ?label ?parts ?drives ?resume
+    () =
+  Engine.backup_job eng
+    (Engine.Job.make ~strategy ?level ?subtree ?exclude ?label ?parts ?drives
+       ?resume ())
 module Report = Repro_backup.Report
 module Clock = Repro_sim.Clock
 module Generator = Repro_workload.Generator
@@ -307,7 +314,7 @@ let analyze_run ~seed =
   let obs = Obs.create ~clock () in
   Obs.with_armed obs (fun () ->
       ignore
-        (Engine.backup eng ~strategy:Strategy.Logical ~subtree:"/data" ~parts:2
+        (backup eng ~strategy:Strategy.Logical ~subtree:"/data" ~parts:2
            ~drives:[ 0; 1 ] ()));
   Analysis.analyze obs
 

@@ -8,6 +8,13 @@ module Fs = Repro_wafl.Fs
 module Strategy = Repro_backup.Strategy
 module Catalog = Repro_backup.Catalog
 module Engine = Repro_backup.Engine
+
+(* Build a validated job description and run it. *)
+let backup eng ~strategy ?level ?subtree ?exclude ?label ?parts ?drives ?resume
+    () =
+  Engine.backup_job eng
+    (Engine.Job.make ~strategy ?level ?subtree ?exclude ?label ?parts ?drives
+       ?resume ())
 module Instrument = Repro_backup.Instrument
 module Experiment = Repro_backup.Experiment
 module Pipeline = Repro_sim.Pipeline
@@ -133,13 +140,13 @@ let make_engine ?(blocks = 16384) () =
 
 let test_engine_logical_cycle () =
   let eng, fs = make_engine () in
-  let e0 = Engine.backup eng ~strategy:Strategy.Logical ~subtree:"/data" () in
+  let e0 = backup eng ~strategy:Strategy.Logical ~subtree:"/data" () in
   checki "level 0" 0 e0.Catalog.level;
   checkb "bytes recorded" true (e0.Catalog.bytes > 500_000);
   (* mutate then incremental *)
   ignore (Fs.create fs "/data/extra.txt" ~perms:0o644);
   Fs.write fs "/data/extra.txt" ~offset:0 "incrementally yours";
-  let e1 = Engine.backup eng ~strategy:Strategy.Logical ~level:1 ~subtree:"/data" () in
+  let e1 = backup eng ~strategy:Strategy.Logical ~level:1 ~subtree:"/data" () in
   checkb "incremental smaller" true (e1.Catalog.bytes * 5 < e0.Catalog.bytes);
   (* restore the chain elsewhere *)
   let dvol = Volume.create ~label:"dst" (Volume.small_geometry ~data_blocks:16384) in
@@ -154,11 +161,11 @@ let test_engine_logical_cycle () =
 
 let test_engine_physical_cycle () =
   let eng, fs = make_engine () in
-  let e0 = Engine.backup eng ~strategy:Strategy.Physical ~label:"vol" () in
+  let e0 = backup eng ~strategy:Strategy.Physical ~label:"vol" () in
   checks "snapshot kept" "image.1" e0.Catalog.snapshot;
   ignore (Fs.create fs "/data/more.bin" ~perms:0o644);
   Fs.write fs "/data/more.bin" ~offset:0 (String.make 30_000 'm');
-  let e1 = Engine.backup eng ~strategy:Strategy.Physical ~level:1 ~label:"vol" () in
+  let e1 = backup eng ~strategy:Strategy.Physical ~level:1 ~label:"vol" () in
   checks "chained" e0.Catalog.snapshot e1.Catalog.base_snapshot;
   checkb "old base retired" true
     (List.for_all (fun s -> s.Fs.name <> e0.Catalog.snapshot) (Fs.snapshots fs));
@@ -180,7 +187,7 @@ let test_engine_physical_cycle () =
    scheduler refactor must preserve. Each part is its own tape stream; the
    restored tree must equal the source for both strategies. Runs through
    the Job API (the logical/physical cycle tests above keep covering the
-   legacy [Engine.backup] wrapper). *)
+   removed legacy [Engine.backup] wrapper). *)
 let test_engine_multipart_plain () =
   (* logical, three parts on the default single drive *)
   let eng, fs = make_engine () in
@@ -279,7 +286,7 @@ let test_engine_selective_restore () =
 let test_engine_incremental_without_full () =
   let eng, _fs = make_engine () in
   try
-    ignore (Engine.backup eng ~strategy:Strategy.Physical ~level:1 ());
+    ignore (backup eng ~strategy:Strategy.Physical ~level:1 ());
     Alcotest.fail "expected error"
   with Fs.Error _ -> ()
 
@@ -291,7 +298,7 @@ let test_store_roundtrip () =
       let eng, fs = make_engine () in
       ignore (Fs.create fs "/data/persisted.txt" ~perms:0o640);
       Fs.write fs "/data/persisted.txt" ~offset:0 "across processes";
-      ignore (Engine.backup eng ~strategy:Strategy.Physical ~label:"vol" ());
+      ignore (backup eng ~strategy:Strategy.Physical ~label:"vol" ());
       Repro_backup.Store.save ~path eng;
       (* reload into a fresh engine: file system, catalog and tapes all
          come back *)
@@ -343,6 +350,33 @@ let test_instrument_scale_retarget () =
   let moved = Instrument.retarget halved ~from_prefix:"tape:" ~to_resource:other in
   let d2 = List.hd (List.hd moved).Pipeline.demands in
   checks "retargeted" "tape:1" (Resource.name d2.Pipeline.resource)
+
+(* ------------------------------- job --------------------------------- *)
+
+(* Job.make rejects malformed descriptions with typed errors before
+   anything touches an engine. *)
+let test_job_make_validation () =
+  let expects err f =
+    match f () with
+    | (_ : Engine.Job.t) -> Alcotest.fail "Job.make accepted a bad job"
+    | exception Engine.Job.Invalid e ->
+      Alcotest.(check string)
+        "typed error"
+        (Engine.Job.error_message err)
+        (Engine.Job.error_message e)
+  in
+  let make = Engine.Job.make ~strategy:Strategy.Logical in
+  expects Engine.Job.Empty_subtree (fun () -> make ~subtree:"" ());
+  expects (Engine.Job.Relative_subtree "data") (fun () ->
+      make ~subtree:"data" ());
+  expects (Engine.Job.Bad_level 10) (fun () -> make ~level:10 ());
+  expects (Engine.Job.Bad_level (-1)) (fun () -> make ~level:(-1) ());
+  expects (Engine.Job.Bad_parts 0) (fun () -> make ~parts:0 ());
+  expects Engine.Job.Empty_pool (fun () -> make ~drives:[] ());
+  expects (Engine.Job.Duplicate_drive 1) (fun () -> make ~drives:[ 0; 1; 1 ] ());
+  let ok = make ~subtree:"/data" ~level:3 ~parts:2 ~drives:[ 0; 1 ] () in
+  Alcotest.(check string) "label defaults to subtree" "/data"
+    (Engine.Job.label ok)
 
 (* ----------------------------- experiment ---------------------------- *)
 
@@ -425,6 +459,7 @@ let () =
           Alcotest.test_case "plain multi-part cycle" `Quick test_engine_multipart_plain;
           Alcotest.test_case "concurrent drive pool" `Quick test_engine_concurrent_drives;
           Alcotest.test_case "selective restore" `Quick test_engine_selective_restore;
+          Alcotest.test_case "job validation" `Quick test_job_make_validation;
           Alcotest.test_case "incremental needs full" `Quick
             test_engine_incremental_without_full;
           Alcotest.test_case "store persistence round trip" `Quick test_store_roundtrip;

@@ -8,6 +8,7 @@
 
 module D = Differential
 module Strategy = Repro_backup.Strategy
+module Fleet = Repro_fleet.Fleet
 
 let seeds = [ 1; 42; 1999 ]
 
@@ -81,6 +82,43 @@ let test_goldens () =
             name (D.first_diff want got) (String.length want) (String.length got))
       golden_files
 
+(* --------------------- fleet granularity ---------------------------- *)
+
+(* The differential discipline extended to a whole backup night: a fleet
+   run interrupted by a seeded drive storm (plus an admission abort) and
+   restarted from its FLT1 catalog must produce per-volume tape bytes
+   identical to the uninterrupted night, for any fleet and storm seed. *)
+let prop_fleet_storm_restart_identical =
+  QCheck2.Test.make ~count:3
+    ~name:"fleet: storm + restart reproduces uninterrupted tape bytes"
+    QCheck2.Gen.(pair (int_range 0 1000) (int_range 0 1000))
+    (fun (seed, storm_seed) ->
+      let spec =
+        Fleet.Spec.synth ~seed ~volumes:6 ~hosts:2 ~drives_per_host:2
+          ~tenants:2 ~bytes_per_volume:9_000 ()
+      in
+      let plan = Fleet.plan spec in
+      let full, _ = Fleet.run ~keep_tapes:true plan in
+      let storm =
+        {
+          Fleet.storm_after = 1;
+          storm_drives = 2;
+          storm_abort_after = Some 3;
+          storm_seed;
+        }
+      in
+      let part, status = Fleet.run ~storm ~keep_tapes:true plan in
+      let rest, status' = Fleet.run ~resume:status ~keep_tapes:true plan in
+      let combined = part.Fleet.rp_tapes @ rest.Fleet.rp_tapes in
+      List.length full.Fleet.rp_tapes = 6
+      && List.length status'.Fleet.Status.st_completed = 6
+      && List.for_all
+           (fun (name, tape) ->
+             match List.assoc_opt name combined with
+             | Some tape' -> String.equal tape tape'
+             | None -> false)
+           full.Fleet.rp_tapes)
+
 let () =
   let case ~remote s seed =
     Alcotest.test_case
@@ -107,5 +145,10 @@ let () =
             test_deterministic;
           Alcotest.test_case "pre-optimization goldens reproduced" `Quick
             test_goldens;
+        ] );
+      ( "fleet granularity",
+        [
+          QCheck_alcotest.to_alcotest ~long:false
+            prop_fleet_storm_restart_identical;
         ] );
     ]

@@ -23,6 +23,13 @@ module Restore = Repro_dump.Restore
 module Strategy = Repro_backup.Strategy
 module Catalog = Repro_backup.Catalog
 module Engine = Repro_backup.Engine
+
+(* Build a validated job description and run it. *)
+let backup eng ~strategy ?level ?subtree ?exclude ?label ?parts ?drives ?resume
+    () =
+  Engine.backup_job eng
+    (Engine.Job.make ~strategy ?level ?subtree ?exclude ?label ?parts ?drives
+       ?resume ())
 module Report = Repro_backup.Report
 module Clock = Repro_sim.Clock
 module Generator = Repro_workload.Generator
@@ -242,7 +249,7 @@ let test_tape_soft_read_drive_retries () =
 let test_tape_hard_error_asymmetry () =
   let eng, fs, libs = make_engine () in
   let lib0 = List.nth libs 0 in
-  ignore (Engine.backup eng ~strategy:Strategy.Logical ~subtree:"/data" ());
+  ignore (backup eng ~strategy:Strategy.Logical ~subtree:"/data" ());
   let logical_records = Tape.media_records (Option.get (Tape.loaded (Library.drive lib0))) in
   (* lose a record in the middle of the file section *)
   let plane =
@@ -267,7 +274,7 @@ let test_tape_hard_error_asymmetry () =
     checkb "damage bounded to a few files" true (List.length damaged <= 8));
   (* the same fault against an image stream fails verification: physical
      backup has no per-file containment to fall back on (paper §4.4) *)
-  ignore (Engine.backup eng ~strategy:Strategy.Physical ~label:"vol" ());
+  ignore (backup eng ~strategy:Strategy.Physical ~label:"vol" ());
   let total_records =
     Tape.media_records (Option.get (Tape.loaded (Library.drive lib0)))
   in
@@ -288,7 +295,7 @@ let test_engine_retry_charges_clock () =
     Fault.plan [ Fault.Tape_soft_errors { device = "L0"; op = `Write; failures = 2 } ]
   in
   Fault.with_armed plane (fun () ->
-      let e = Engine.backup eng ~strategy:Strategy.Logical ~subtree:"/data" () in
+      let e = backup eng ~strategy:Strategy.Logical ~subtree:"/data" () in
       checki "no degradation" 0 e.Catalog.degraded);
   checki "two engine-level retries" 2 (Fault.retries plane);
   checkf "1s + 2s backoff on the simulated clock" 3.0 (Clock.now clock);
@@ -334,12 +341,12 @@ let test_degraded_logical_vs_failfast_image () =
       ]
   in
   Fault.with_armed plane (fun () ->
-      let e = Engine.backup eng ~strategy:Strategy.Logical ~subtree:"/data" () in
+      let e = backup eng ~strategy:Strategy.Logical ~subtree:"/data" () in
       checki "one file degraded" 1 e.Catalog.degraded;
       checkb "skip journalled" true (Fault.skips plane >= 1);
       checkb "journal skip" true (journal_has plane "skip");
       (* the image dump reads the same block and fails fast instead *)
-      match Engine.backup eng ~strategy:Strategy.Physical ~label:"vol" () with
+      match backup eng ~strategy:Strategy.Physical ~label:"vol" () with
       | _ -> Alcotest.fail "image dump must fail fast on an unreadable block"
       | exception Fault.Media_error _ -> ());
   (* restore: the skipped file comes back empty, everything else intact *)
@@ -355,7 +362,7 @@ let test_degraded_logical_vs_failfast_image () =
 
 let test_multipart_streams_and_restore () =
   let eng, fs, _ = make_engine () in
-  let e = Engine.backup eng ~strategy:Strategy.Logical ~subtree:"/data" ~parts:3 () in
+  let e = backup eng ~strategy:Strategy.Logical ~subtree:"/data" ~parts:3 () in
   Alcotest.(check (list int)) "three consecutive streams" [ 0; 1; 2 ] e.Catalog.streams;
   (* parts carry all directories, but the merged toc reports each once *)
   let toc = Engine.table_of_contents eng e in
@@ -370,7 +377,7 @@ let test_multipart_streams_and_restore () =
   ignore (Engine.restore_logical eng ~label:"/data" ~fs:dfs ~target:"/r" ());
   assert_trees (fs, "/data") (dfs, "/r");
   (* physical: contiguous block ranges, same guarantees *)
-  let pe = Engine.backup eng ~strategy:Strategy.Physical ~label:"vol" ~parts:2 () in
+  let pe = backup eng ~strategy:Strategy.Physical ~label:"vol" ~parts:2 () in
   checki "two physical streams" 2 (List.length pe.Catalog.streams);
   (match Engine.verify_physical eng ~label:"vol" with
   | Ok _ -> ()
@@ -389,7 +396,7 @@ let test_acceptance_drill () =
   (* probe run (identical construction, no faults) to learn how many
      record operations part 0 takes *)
   let peng, _, plibs = make_engine () in
-  ignore (Engine.backup peng ~strategy:Strategy.Logical ~subtree:"/data" ~parts:3 ());
+  ignore (backup peng ~strategy:Strategy.Logical ~subtree:"/data" ~parts:3 ());
   let r0 = stream_records (List.nth plibs 0) ~stream:0 in
 
   let clock = Clock.create () in
@@ -418,7 +425,7 @@ let test_acceptance_drill () =
       ]
   in
   Fault.with_armed plane (fun () ->
-      (match Engine.backup eng ~strategy:Strategy.Logical ~subtree:"/data" ~parts:3 () with
+      (match backup eng ~strategy:Strategy.Logical ~subtree:"/data" ~parts:3 () with
       | _ -> Alcotest.fail "expected Drive_dead"
       | exception Fault.Drive_dead d -> Alcotest.(check string) "dead drive" "L0" d);
       checkb "transient was retried first" true (Fault.retries plane >= 1);
@@ -436,7 +443,7 @@ let test_acceptance_drill () =
          The cut-off partial stream is sealed as stream 1 and skipped. *)
       Fault.revive plane ~device:"L0";
       checkb "journal revive" true (journal_has plane "revive");
-      let e = Engine.backup eng ~strategy:Strategy.Logical ~subtree:"/data" ~resume:true () in
+      let e = backup eng ~strategy:Strategy.Logical ~subtree:"/data" ~resume:true () in
       Alcotest.(check (list int)) "part 0 kept; dead stream sealed" [ 0; 2; 3 ]
         e.Catalog.streams;
       checkb "checkpoint cleared" true
@@ -451,7 +458,7 @@ let test_acceptance_drill () =
       assert_trees (fs, "/data") (dfs, "/r");
       (* the physical pass reads every allocated block, tripping both
          latent errors; RAID repairs them from parity in place *)
-      let pe = Engine.backup eng ~strategy:Strategy.Physical ~label:"vol" () in
+      let pe = backup eng ~strategy:Strategy.Physical ~label:"vol" () in
       checki "physical stream clean" 0 pe.Catalog.degraded;
       checki "both blocks repaired" 2 (Volume.media_repairs (Fs.volume fs));
       checkb "repairs on the plane" true (Fault.repairs plane >= 2);
@@ -477,7 +484,7 @@ let test_concurrent_drive_death_and_resume () =
   (* probe: how many records part 1 (the first stream on L1) occupies *)
   let peng, _, plibs = make_engine () in
   ignore
-    (Engine.backup peng ~strategy:Strategy.Logical ~subtree:"/data" ~parts:4
+    (backup peng ~strategy:Strategy.Logical ~subtree:"/data" ~parts:4
        ~drives:[ 0; 1 ] ());
   let r1 = stream_records (List.nth plibs 1) ~stream:0 in
   checkb "part 1 spans several records" true (r1 >= 2);
@@ -487,7 +494,7 @@ let test_concurrent_drive_death_and_resume () =
   let plane = Fault.plan [ Fault.Tape_drive_death { device = "L1"; after_records = 1 } ] in
   Fault.with_armed plane (fun () ->
       (match
-         Engine.backup eng ~strategy:Strategy.Logical ~subtree:"/data" ~parts:4
+         backup eng ~strategy:Strategy.Logical ~subtree:"/data" ~parts:4
            ~drives:[ 0; 1 ] ()
        with
       | _ -> Alcotest.fail "expected Drive_dead"
@@ -518,7 +525,7 @@ let test_concurrent_drive_death_and_resume () =
          first free drive of the checkpointed pool) *)
       Fault.revive plane ~device:"L1";
       let e =
-        Engine.backup eng ~strategy:Strategy.Logical ~subtree:"/data" ~resume:true ()
+        backup eng ~strategy:Strategy.Logical ~subtree:"/data" ~resume:true ()
       in
       checki "entry covers all four parts" 4 (List.length e.Catalog.streams);
       Alcotest.(check (list int))
@@ -540,14 +547,14 @@ let test_concurrent_drive_death_and_resume () =
 
 let test_checkpoint_survives_reload () =
   let peng, _, plibs = make_engine () in
-  ignore (Engine.backup peng ~strategy:Strategy.Logical ~subtree:"/data" ~parts:2 ());
+  ignore (backup peng ~strategy:Strategy.Logical ~subtree:"/data" ~parts:2 ());
   let r0 = stream_records (List.nth plibs 0) ~stream:0 in
   let eng, fs, _ = make_engine () in
   let plane =
     Fault.plan [ Fault.Tape_drive_death { device = "L0"; after_records = r0 + 2 } ]
   in
   Fault.with_armed plane (fun () ->
-      match Engine.backup eng ~strategy:Strategy.Logical ~subtree:"/data" ~parts:2 () with
+      match backup eng ~strategy:Strategy.Logical ~subtree:"/data" ~parts:2 () with
       | _ -> Alcotest.fail "expected Drive_dead"
       | exception Fault.Drive_dead _ -> ());
   (* the interrupted job survives a process restart *)
@@ -560,7 +567,7 @@ let test_checkpoint_survives_reload () =
    with
   | None -> Alcotest.fail "checkpoint lost in serialization"
   | Some ck -> checki "one part done" 1 (List.length ck.Catalog.ck_done));
-  let e = Engine.backup eng2 ~strategy:Strategy.Logical ~subtree:"/data" ~resume:true () in
+  let e = backup eng2 ~strategy:Strategy.Logical ~subtree:"/data" ~resume:true () in
   checki "both parts present" 2 (List.length e.Catalog.streams);
   let dvol = Volume.create ~label:"d2" (Volume.small_geometry ~data_blocks:16384) in
   let dfs = Fs.mkfs dvol in
@@ -644,7 +651,7 @@ let prop_single_fault_leaves_source_intact =
       in
       let plane = Fault.plan ~seed:pseed specs in
       Fault.with_armed plane (fun () ->
-          try ignore (Engine.backup eng ~strategy:Strategy.Logical ~subtree:"/data" ())
+          try ignore (backup eng ~strategy:Strategy.Logical ~subtree:"/data" ())
           with
           | Fault.Media_error _ | Fault.Transient _ | Fault.Drive_dead _
           | Disk.Disk_failed _ | Fs.Error _ ->
@@ -686,7 +693,7 @@ let prop_identical_seeds_reproduce =
             ]
         in
         Fault.with_armed plane (fun () ->
-            try ignore (Engine.backup eng ~strategy:Strategy.Logical ~subtree:"/data" ())
+            try ignore (backup eng ~strategy:Strategy.Logical ~subtree:"/data" ())
             with
             | Fault.Media_error _ | Fault.Transient _ | Fault.Drive_dead _
             | Disk.Disk_failed _ | Fs.Error _ ->

@@ -12,6 +12,13 @@ module Library = Repro_tape.Library
 module Fs = Repro_wafl.Fs
 module Strategy = Repro_backup.Strategy
 module Engine = Repro_backup.Engine
+
+(* Build a validated job description and run it. *)
+let backup eng ~strategy ?level ?subtree ?exclude ?label ?parts ?drives ?resume
+    () =
+  Engine.backup_job eng
+    (Engine.Job.make ~strategy ?level ?subtree ?exclude ?label ?parts ?drives
+       ?resume ())
 module Clock = Repro_sim.Clock
 module Generator = Repro_workload.Generator
 
@@ -274,7 +281,7 @@ let test_backup_trace_structure () =
   let eng, _ = make_engine ~clock () in
   let p = Obs.create ~clock () in
   Obs.with_armed p (fun () ->
-      ignore (Engine.backup eng ~strategy:Strategy.Logical ~subtree:"/data" ~parts:2 ()));
+      ignore (backup eng ~strategy:Strategy.Logical ~subtree:"/data" ~parts:2 ()));
   let evs = Obs.events p in
   let edges = nesting_edges evs in
   checkb "part nests under engine.backup" true
@@ -316,7 +323,7 @@ let test_fault_correlation () =
   in
   Obs.with_armed obs (fun () ->
       Fault.with_armed plane (fun () ->
-          ignore (Engine.backup eng ~strategy:Strategy.Logical ~subtree:"/data" ())));
+          ignore (backup eng ~strategy:Strategy.Logical ~subtree:"/data" ())));
   checki "one retry journalled" 1 (Fault.retries plane);
   let retry_ev =
     List.find (fun (e : Fault.event) -> e.Fault.kind = "retry") (Fault.events plane)
@@ -376,7 +383,7 @@ let prop_identical_seeds_identical_exports =
             Fault.with_armed plane (fun () ->
                 try
                   ignore
-                    (Engine.backup eng ~strategy:Strategy.Logical ~subtree:"/data" ())
+                    (backup eng ~strategy:Strategy.Logical ~subtree:"/data" ())
                 with Fault.Media_error _ | Fault.Transient _ -> ()));
         (Obs.chrome_trace obs, Obs.metrics_jsonl obs)
       in
