@@ -1378,9 +1378,99 @@ let run_fleet () =
   say "  [BENCH_fleet.json written]@.";
   ok
 
+(* ------------------------------------------------------------------ *)
+(* Part 12: the SLO/alerting plane (a storm-hit night with deadlines)  *)
+
+(* Claims from docs/SLO.md:
+
+   (a) the alert journal and the night report are byte-deterministic:
+       two same-seed nights — storm, deadlines and all — produce
+       identical bytes (and the baseline diff in CI pins the alert
+       counts across versions);
+
+   (b) the rules do their job: on a night whose every-8th volume
+       carries a backup window far shorter than the makespan and whose
+       drive pool is hit by a storm, window-miss alerts fire, the
+       late volumes' alerts resolve on completion, and the drive-storm
+       rule fires. *)
+let run_slo () =
+  let module Slo = Repro_obs.Slo in
+  let module Analysis = Repro_obs.Analysis in
+  say "== Part 12: SLO plane (deterministic alerting over a fleet night) ==";
+  let volumes = 160 in
+  let storm =
+    { Fleet.storm_after = 40; storm_drives = 2; storm_abort_after = None;
+      storm_seed = 5 }
+  in
+  let night seed =
+    let spec =
+      Fleet.Spec.synth ~seed ~volumes ~hosts:2 ~drives_per_host:4 ~tenants:4
+        ~bytes_per_volume:20_000 ~deadline_every:8 ~deadline_s:0.5 ()
+    in
+    let p = Fleet.plan spec in
+    let plane = Obs.create () in
+    let report, status =
+      Obs.with_armed plane (fun () -> Fleet.run ~storm p)
+    in
+    let verdict =
+      List.find_map
+        (fun (ph : Analysis.phase) ->
+          if ph.Analysis.p_name = "fleet" then
+            Some (Analysis.verdict_to_string ph.Analysis.p_verdict)
+          else None)
+        (Analysis.analyze plane).Analysis.phases
+    in
+    ( report,
+      Slo.journal_json report.Fleet.rp_alerts,
+      Fleet.night_report ?verdict p report ~status )
+  in
+  let count kind prefix alerts =
+    List.length
+      (List.filter
+         (fun (a : Slo.alert) ->
+           a.Slo.a_kind = kind
+           &&
+           let n = String.length prefix in
+           String.length a.Slo.a_rule >= n && String.sub a.Slo.a_rule 0 n = prefix)
+         alerts)
+  in
+  let gate seed =
+    let report, journal, nreport = night seed in
+    let _, journal2, nreport2 = night seed in
+    let deterministic =
+      String.equal journal journal2 && String.equal nreport nreport2
+    in
+    let alerts = report.Fleet.rp_alerts in
+    let miss_fired = count Slo.Firing "window-miss." alerts in
+    let miss_resolved = count Slo.Resolved "window-miss." alerts in
+    let storm_fired = count Slo.Firing "drive-storm" alerts in
+    let ok =
+      deterministic && miss_fired > 0 && miss_resolved > 0 && storm_fired > 0
+    in
+    say
+      "  seed %4d  %3d transitions  window-miss %d fired / %d resolved  \
+       drive-storm %d  deterministic: %s"
+      seed (List.length alerts) miss_fired miss_resolved storm_fired
+      (if deterministic then "yes" else "NO");
+    (journal, nreport, List.length alerts, miss_fired, miss_resolved, ok)
+  in
+  let j42, r42, n42, fired42, resolved42, ok42 = gate 42 in
+  let _, _, n7, fired7, resolved7, ok7 = gate 7 in
+  let ok = ok42 && ok7 in
+  say "  verdict:                     %s@." (if ok then "PASS" else "FAIL");
+  write_file "BENCH_slo.json"
+    (Printf.sprintf
+       {|{"bench":"slo","volumes":%d,"hosts":2,"drives_per_host":4,"tenants":4,"bytes_per_volume":20000,"deadline_every":8,"deadline_s":0.5,"storm":{"after":40,"drives":2,"seed":5},"seeds":[42,7],"alerts":%d,"window_miss_fired":%d,"window_miss_resolved":%d,"alerts_seed7":%d,"window_miss_fired_seed7":%d,"window_miss_resolved_seed7":%d,"deterministic":%b,"pass":%b}
+|}
+       volumes n42 fired42 resolved42 n7 fired7 resolved7 (ok42 && ok7) ok);
+  write_file "BENCH_slo_alerts.json" (j42 ^ "\n");
+  write_file "BENCH_slo_report.json" (r42 ^ "\n");
+  say "  [BENCH_slo.json, BENCH_slo_alerts.json, BENCH_slo_report.json written]@.";
+  ok
+
 let usage () =
   say
-    "usage: main [all|tables|ablations|micro|faults|obs|scaling|net|analysis|dr|fleet|speed [--volumes N]]";
+    "usage: main [all|tables|ablations|micro|faults|obs|scaling|net|analysis|dr|fleet|slo|speed [--volumes N]]";
   exit 2
 
 (* `speed --volumes N` widens the fleet sweep (default 100). *)
@@ -1409,12 +1499,13 @@ let () =
     let analysis_ok = run_analysis () in
     let dr_ok = run_dr () in
     let fleet_ok = run_fleet () in
+    let slo_ok = run_slo () in
     let speed_ok = run_speed () in
     say "bench: all parts complete.";
     if
       not
         (obs_ok && scaling_ok && net_ok && analysis_ok && dr_ok && fleet_ok
-       && speed_ok)
+       && slo_ok && speed_ok)
     then exit 1
   | "tables" -> run_tables ()
   | "ablations" -> run_ablations ()
@@ -1426,5 +1517,6 @@ let () =
   | "analysis" -> if not (run_analysis ()) then exit 1
   | "dr" -> if not (run_dr ()) then exit 1
   | "fleet" -> if not (run_fleet ()) then exit 1
+  | "slo" -> if not (run_slo ()) then exit 1
   | "speed" -> if not (run_speed ~volumes:(speed_volumes ()) ()) then exit 1
   | _ -> usage ()

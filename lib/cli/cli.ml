@@ -22,6 +22,7 @@ module Report = Repro_backup.Report
 module Disk = Repro_block.Disk
 module Obs = Repro_obs.Obs
 module Analysis = Repro_obs.Analysis
+module Slo = Repro_obs.Slo
 module Prof = Repro_prof.Prof
 module Link = Repro_net.Link
 module Mirror = Repro_image.Mirror
@@ -65,6 +66,9 @@ let handle f =
   | Fleet.Spec.Invalid e ->
     Format.eprintf "error: %s@." (Fleet.Spec.error_message e);
     1
+  | Slo.Parse_error { line; msg } ->
+    Format.eprintf "error: SLO rules line %d: %s@." line msg;
+    1
   | Repro_util.Serde.Corrupt m ->
     Format.eprintf "error: corrupt store: %s@." m;
     1
@@ -101,6 +105,7 @@ let () =
       ("trace", "Run a backup and export its Chrome trace_event JSON");
       ("metrics", "Run a backup and print its metrics registry");
       ("analyze", "Run a backup and print its critical path and bottleneck verdict");
+      ("alerts", "Run a backup under SLO rules and print the alert journal");
       ("mirror", "Manage scheduled replication, failover and resync");
       ("fleet", "Plan, run or inspect a fleet-wide backup night from a spec");
       ("profile", "Run any backupctl command under the host-side self-profiler");
@@ -158,7 +163,8 @@ let with_obs trace_out metrics_out f =
 
 (* --------------------------- self-profiling --------------------------- *)
 
-let prof_cmds = [ "backup"; "restore"; "fault"; "trace"; "metrics"; "analyze" ]
+let prof_cmds =
+  [ "backup"; "restore"; "fault"; "trace"; "metrics"; "analyze"; "alerts" ]
 
 let profile_out_arg =
   Arg.(
@@ -582,8 +588,8 @@ let report_entry (e : Catalog.entry) =
      else "")
 
 (* The backup job description, shared — identically — by the backup,
-   fault, trace, metrics and analyze commands. *)
-let backup_cmds = [ "backup"; "fault"; "trace"; "metrics"; "analyze" ]
+   fault, trace, metrics, analyze and alerts commands. *)
+let backup_cmds = [ "backup"; "fault"; "trace"; "metrics"; "analyze"; "alerts" ]
 
 let strategy_arg =
   Arg.(
@@ -1427,9 +1433,62 @@ let read_file path =
   close_in ic;
   s
 
+(* Pretty-print the SLO attainment block of a saved night report. *)
+let print_attainment s =
+  match Fleet.attainment_summary s with
+  | None -> false
+  | Some (fleet, tenants, hosts) ->
+    say "fleet SLO attainment: %.1f%%" (100.0 *. fleet);
+    List.iter
+      (fun (n, f) -> say "  tenant %-10s %.1f%%" n (100.0 *. f))
+      tenants;
+    List.iter (fun (n, f) -> say "  host   %-10s %.1f%%" n (100.0 *. f)) hosts;
+    true
+
+let print_night_report s =
+  if not (print_attainment s) then false
+  else begin
+    let j = Slo.Json.parse s in
+    (match Slo.Json.member "volumes" j with
+    | Some vols -> (
+      match
+        (Slo.Json.member "completed" vols, Slo.Json.member "total" vols,
+         Slo.Json.member "deadline_missed" vols)
+      with
+      | Some (Slo.Json.Num c), Some (Slo.Json.Num t), Some (Slo.Json.Num m) ->
+        say "volumes: %.0f/%.0f completed, %.0f window miss(es)" c t m
+      | _ -> ())
+    | None -> ());
+    (match Slo.Json.member "verdict" j with
+    | Some (Slo.Json.Str v) -> say "bottleneck verdict: %s" v
+    | _ -> ());
+    (match
+       Option.bind (Slo.Json.member "alerts" j) (Slo.Json.member "alerts")
+     with
+    | Some (Slo.Json.Arr items) ->
+      if items = [] then say "alert journal: empty"
+      else begin
+        say "alert journal: %d transitions" (List.length items);
+        List.iter
+          (fun item ->
+            match
+              ( Slo.Json.member "rule" item,
+                Slo.Json.member "kind" item,
+                Slo.Json.member "t_s" item )
+            with
+            | Some (Slo.Json.Str r), Some (Slo.Json.Str k), Some (Slo.Json.Num t)
+              ->
+              say "  %10.3fs  %-8s %s" t k r
+            | _ -> ())
+          items
+      end
+    | _ -> ());
+    true
+  end
+
 let cmd_fleet =
   let run action file status_file resume storm_after storm_drives storm_abort
-      storm_seed trace_out metrics_out =
+      storm_seed rules_file report_out trace_out metrics_out =
     handle (fun () ->
         match action with
         | "plan" ->
@@ -1458,37 +1517,81 @@ let cmd_fleet =
                 }
             else None
           in
-          with_obs trace_out metrics_out (fun _ ->
-              let report, status = Fleet.run ?storm ?resume:resume_status p in
-              let w = Serde.writer () in
-              Fleet.Status.save w status;
-              write_file status_path (Serde.contents w);
-              Fleet.pp_report Format.std_formatter report;
-              say "fleet catalog: %s (%d/%d volumes)" status_path
-                (List.length status.Fleet.Status.st_completed)
-                (List.length spec.Fleet.Spec.s_volumes);
-              if report.Fleet.rp_failed = [] && report.Fleet.rp_unran = [] then 0
-              else 1)
+          let rules =
+            match rules_file with
+            | None -> []
+            | Some rf -> Slo.parse_rules (read_file rf)
+          in
+          let night obs =
+            let report, status =
+              Fleet.run ?storm ?resume:resume_status ~rules p
+            in
+            let w = Serde.writer () in
+            Fleet.Status.save w status;
+            write_file status_path (Serde.contents w);
+            Fleet.pp_report Format.std_formatter report;
+            if obs <> None then
+              Slo.pp_journal Format.std_formatter report.Fleet.rp_alerts;
+            Option.iter
+              (fun path ->
+                let verdict =
+                  Option.bind obs (fun o ->
+                      List.find_map
+                        (fun (ph : Analysis.phase) ->
+                          if ph.Analysis.p_name = "fleet" then
+                            Some
+                              (Analysis.verdict_to_string ph.Analysis.p_verdict)
+                          else None)
+                        (Analysis.analyze o).Analysis.phases)
+                in
+                write_file path (Fleet.night_report ?verdict p report ~status);
+                say "night report: %s" path)
+              report_out;
+            say "fleet catalog: %s (%d/%d volumes)" status_path
+              (List.length status.Fleet.Status.st_completed)
+              (List.length spec.Fleet.Spec.s_volumes);
+            if report.Fleet.rp_failed = [] && report.Fleet.rp_unran = [] then 0
+            else 1
+          in
+          (* The SLO engine and the night report need an armed plane even
+             when no trace/metrics export was asked for. *)
+          if report_out <> None || rules_file <> None then
+            run_with_obs ?trace_out ?metrics_out (fun o -> night (Some o))
+          else with_obs trace_out metrics_out night
         | "status" ->
           let st = Fleet.Status.load (Serde.reader (read_file file)) in
           Fleet.Status.pp Format.std_formatter st;
+          (match report_out with
+          | Some path when Sys.file_exists path ->
+            ignore (print_attainment (read_file path))
+          | _ -> ());
           0
+        | "report" ->
+          if print_night_report (read_file file) then 0
+          else begin
+            say "%s is not a night report (write one with fleet run \
+                 --report-out)"
+              file;
+            1
+          end
         | a ->
-          say "unknown fleet action %S (expected plan, run or status)" a;
+          say "unknown fleet action %S (expected plan, run, status or report)" a;
           2)
   in
   let action =
     Arg.(
       required
       & pos 0 (some string) None
-      & info [] ~docv:"ACTION" ~doc:"plan, run or status.")
+      & info [] ~docv:"ACTION" ~doc:"plan, run, status or report.")
   in
   let file =
     Arg.(
       required
       & pos 1 (some string) None
       & info [] ~docv:"FILE"
-          ~doc:"Fleet spec file (plan, run) or fleet catalog file (status).")
+          ~doc:
+            "Fleet spec file (plan, run), fleet catalog file (status) or \
+             night report JSON (report).")
   in
   let status_file =
     Arg.(
@@ -1537,12 +1640,85 @@ let cmd_fleet =
           (Usage.flag ~cmds:[ "fleet" ] [ "storm-seed" ])
           ~docv:"SEED" ~doc:"Fault storm: drive-selection seed.")
   in
+  let rules_file =
+    Arg.(
+      value
+      & opt (some string) None
+      & info
+          (Usage.flag ~cmds:[ "fleet" ] [ "rules" ])
+          ~docv:"FILE"
+          ~doc:
+            "Extra SLO rules ($(b,SLO1) format) evaluated during the night \
+             on top of the built-in set.")
+  in
+  let report_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info
+          (Usage.flag ~cmds:[ "fleet" ] [ "report-out" ])
+          ~docv:"FILE"
+          ~doc:
+            "Night report JSON: written after $(b,run), read back by \
+             $(b,status) to print SLO attainment.")
+  in
   Cmd.v
     (Cmd.info "fleet" ~doc:(summary "fleet"))
     Term.(
       const run $ action $ file $ status_file $ resume $ storm_after
-      $ storm_drives $ storm_abort $ storm_seed $ trace_out_arg
-      $ metrics_out_arg)
+      $ storm_drives $ storm_abort $ storm_seed $ rules_file $ report_out
+      $ trace_out_arg $ metrics_out_arg)
+
+(* ------------------------------- alerts ------------------------------- *)
+
+let cmd_alerts =
+  let run store args rules_file out profile_out =
+    handle (fun () ->
+        with_prof profile_out (fun () ->
+            with_store store (fun engine ->
+                (* parse the rules first: a typo in the rule file should
+                   not cost a backup run *)
+                let rules =
+                  match rules_file with
+                  | None -> Slo.default_job_rules ()
+                  | Some rf -> Slo.parse_rules (read_file rf)
+                in
+                let o = Obs.create () in
+                Obs.with_armed o (fun () ->
+                    report_entry (run_backup engine args));
+                let e = Slo.create ~rules o in
+                Slo.replay e;
+                let alerts = Slo.alerts e in
+                Slo.pp_journal Format.std_formatter alerts;
+                Option.iter
+                  (fun p -> write_file p (Slo.journal_json alerts))
+                  out;
+                true)))
+  in
+  let rules_file =
+    Arg.(
+      value
+      & opt (some string) None
+      & info
+          (Usage.flag ~cmds:[ "alerts" ] [ "rules" ])
+          ~docv:"FILE"
+          ~doc:
+            "SLO rule file ($(b,SLO1) format; see docs/SLO.md). Default: \
+             the built-in job rules (tape silence, faults injected, retry \
+             budget).")
+  in
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info
+          (Usage.flag ~cmds:[ "alerts" ] [ "out"; "o" ])
+          ~docv:"FILE" ~doc:"Write the alert journal JSON to $(docv).")
+  in
+  Cmd.v
+    (Cmd.info "alerts" ~doc:(summary "alerts"))
+    Term.(
+      const run $ store_arg $ backup_args $ rules_file $ out $ profile_out_arg)
 
 (* ------------------------------ profile ------------------------------ *)
 
@@ -1631,6 +1807,7 @@ let commands =
     cmd_trace;
     cmd_metrics;
     cmd_analyze;
+    cmd_alerts;
     cmd_mirror;
     cmd_fleet;
     cmd_profile;

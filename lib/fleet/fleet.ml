@@ -23,6 +23,7 @@ module Generator = Repro_workload.Generator
 module Link = Repro_net.Link
 module Obs = Repro_obs.Obs
 module Analysis = Repro_obs.Analysis
+module Slo = Repro_obs.Slo
 module Serde = Repro_util.Serde
 module Crc32 = Repro_util.Crc32
 
@@ -41,6 +42,7 @@ module Spec = struct
     v_bytes : int;
     v_priority : int;
     v_window_s : float;
+    v_deadline_s : float;
     v_seed : int;
   }
 
@@ -58,6 +60,7 @@ module Spec = struct
     | Unknown_host of { volume : string; host : string }
     | Unknown_tenant of { volume : string; tenant : string }
     | Bad_value of { name : string; field : string }
+    | Bad_name of { kind : string; name : string }
 
   exception Invalid of error
 
@@ -71,8 +74,27 @@ module Spec = struct
       Printf.sprintf "volume %s names unknown tenant %S" volume tenant
     | Bad_value { name; field } ->
       Printf.sprintf "%s: bad value for %s" name field
+    | Bad_name { kind; name } ->
+      Printf.sprintf
+        "%s name %S: names are embedded in metric paths and may only use \
+         letters, digits, _ and -"
+        kind name
 
   let invalid e = raise (Invalid e)
+
+  (* Names land verbatim in metric paths (fleet.tenant.<name>.goodput_
+     bytes_s, fleet.volume.<name>.done) and in fault-device labels, so a
+     dot (or any separator) would make those paths ambiguous — a tenant
+     "a.b" is indistinguishable from a tenant "a" with a sub-key "b".
+     Validate at spec construction with a typed error instead. *)
+  let name_ok n =
+    n <> ""
+    && String.for_all
+         (function 'A' .. 'Z' | 'a' .. 'z' | '0' .. '9' | '_' | '-' -> true | _ -> false)
+         n
+
+  let check_name ~kind n =
+    if not (name_ok n) then invalid (Bad_name { kind; name = n })
 
   let check_dups names =
     let tbl = Hashtbl.create 16 in
@@ -90,16 +112,20 @@ module Spec = struct
       @ List.map (fun v -> v.v_name) volumes);
     List.iter
       (fun h ->
+        check_name ~kind:"host" h.h_name;
         if h.h_drives < 1 then
           invalid (Bad_value { name = h.h_name; field = "drives" }))
       hosts;
     List.iter
       (fun t ->
+        check_name ~kind:"tenant" t.t_name;
         if t.t_budget_bytes_s <= 0.0 then
           invalid (Bad_value { name = t.t_name; field = "budget" }))
       tenants;
     List.iter
       (fun v ->
+        check_name ~kind:"volume" v.v_name;
+        check_name ~kind:"filer" v.v_filer;
         if not (List.exists (fun h -> h.h_name = v.v_host) hosts) then
           invalid (Unknown_host { volume = v.v_name; host = v.v_host });
         if
@@ -111,7 +137,11 @@ module Spec = struct
         if v.v_priority < 0 then
           invalid (Bad_value { name = v.v_name; field = "priority" });
         if v.v_window_s < 0.0 then
-          invalid (Bad_value { name = v.v_name; field = "window_s" }))
+          invalid (Bad_value { name = v.v_name; field = "window_s" });
+        if v.v_deadline_s < 0.0 then
+          invalid (Bad_value { name = v.v_name; field = "deadline_s" });
+        if v.v_deadline_s > 0.0 && v.v_deadline_s <= v.v_window_s then
+          invalid (Bad_value { name = v.v_name; field = "deadline_s" }))
       volumes;
     { s_seed = seed; s_hosts = hosts; s_tenants = tenants; s_volumes = volumes }
 
@@ -121,7 +151,8 @@ module Spec = struct
 
   let synth ?(seed = 1) ?(hosts = 2) ?(drives_per_host = 4) ?(tenants = 2)
       ?filers ?(bytes_per_volume = 64_000) ?link ?(budget_bytes_s = 64e6)
-      ?(window_every = 0) ?(window_s = 0.0) ~volumes () =
+      ?(window_every = 0) ?(window_s = 0.0) ?(deadline_every = 0)
+      ?(deadline_s = 0.0) ~volumes () =
     let link =
       match link with
       | Some l -> l
@@ -143,6 +174,9 @@ module Spec = struct
             v_priority = i mod 3;
             v_window_s =
               (if window_every > 0 && i mod window_every = 0 then window_s
+               else 0.0);
+            v_deadline_s =
+              (if deadline_every > 0 && i mod deadline_every = 0 then deadline_s
                else 0.0);
             v_seed = volume_seed ~fleet_seed:seed i;
           })
@@ -186,12 +220,18 @@ module Spec = struct
       s.s_tenants;
     List.iter
       (fun v ->
+        (* deadline_s is emitted only when set, so pre-deadline specs
+           render (and digest) exactly as before. *)
         Buffer.add_string b
           (Printf.sprintf
              "volume %s host=%s tenant=%s filer=%s bytes=%d priority=%d \
-              window_s=%s seed=%d\n"
+              window_s=%s%s seed=%d\n"
              v.v_name v.v_host v.v_tenant v.v_filer v.v_bytes v.v_priority
-             (fnum v.v_window_s) v.v_seed))
+             (fnum v.v_window_s)
+             (if v.v_deadline_s > 0.0 then
+                Printf.sprintf " deadline_s=%s" (fnum v.v_deadline_s)
+              else "")
+             v.v_seed))
       s.s_volumes;
     Buffer.contents b
 
@@ -293,6 +333,7 @@ module Spec = struct
               v_bytes = int_field ~line kvs "bytes";
               v_priority = opt_int ~line kvs "priority" ~default:0;
               v_window_s = opt_float ~line kvs "window_s" ~default:0.0;
+              v_deadline_s = opt_float ~line kvs "deadline_s" ~default:0.0;
               v_seed =
                 opt_int ~line kvs "seed"
                   ~default:(volume_seed ~fleet_seed:!seed (!nvols - 1));
@@ -522,7 +563,65 @@ type report = {
   rp_tenant_goodput : (string * float) list;
   rp_link_bound_bytes_s : float;
   rp_tapes : (string * string) list;
+  rp_alerts : Slo.alert list;
 }
+
+(* ------------------------------------------------------------------ *)
+(* Built-in SLO rules                                                  *)
+
+(* A tenant whose goodput has collapsed below this fraction of its
+   declared budget (once it has completions at all) is starving. *)
+let tenant_floor_frac = 0.01
+
+(* DR-drill bounds: an hour of lost writes or of recovery time is the
+   conventional "broken" threshold; silent unless a drill shares the
+   plane. *)
+let dr_bound_s = 3600.0
+
+let done_series v = "fleet.volume." ^ v ^ ".done"
+
+let builtin_rules (spec : Spec.t) =
+  let window_rules =
+    List.filter_map
+      (fun (v : Spec.volume) ->
+        if v.Spec.v_deadline_s > 0.0 then
+          Some
+            (Slo.rule
+               ~name:("window-miss." ^ v.Spec.v_name)
+               (Slo.Deadline
+                  {
+                    series = done_series v.Spec.v_name;
+                    target = 1.0;
+                    by_s = v.Spec.v_deadline_s;
+                  }))
+        else None)
+      spec.Spec.s_volumes
+  in
+  let tenant_rules =
+    List.map
+      (fun (t : Spec.tenant) ->
+        Slo.rule
+          ~name:("tenant-starved." ^ t.Spec.t_name)
+          (Slo.Threshold
+             {
+               metric = "fleet.tenant." ^ t.Spec.t_name ^ ".goodput_bytes_s";
+               cmp = Slo.Below;
+               bound = tenant_floor_frac *. t.Spec.t_budget_bytes_s;
+             }))
+      spec.Spec.s_tenants
+  in
+  window_rules @ tenant_rules
+  @ [
+      Slo.rule ~name:"drive-storm"
+        (Slo.Threshold
+           { metric = "fleet.drives_lost"; cmp = Slo.Above; bound = 0.0 });
+      Slo.rule ~name:"dr-rpo"
+        (Slo.Threshold
+           { metric = "repl.rpo_s"; cmp = Slo.Above; bound = dr_bound_s });
+      Slo.rule ~name:"dr-rto"
+        (Slo.Threshold
+           { metric = "repl.rto_s"; cmp = Slo.Above; bound = dr_bound_s });
+    ]
 
 (* Deterministic drive choice for a storm: a tiny LCG over the storm
    seed, no host randomness. *)
@@ -591,9 +690,26 @@ type exec = {
   e_crc : int;
 }
 
-let run ?storm ?resume ?(keep_tapes = false) p =
+let run ?storm ?resume ?(keep_tapes = false) ?(rules = []) p =
   let spec = p.p_spec in
   let digest = Spec.digest spec in
+  let engine =
+    if Obs.enabled () then
+      match Obs.armed () with
+      | Some plane -> Some (Slo.create ~rules:(builtin_rules spec @ rules) plane)
+      | None -> None
+    else None
+  in
+  let slo_eval now = Option.iter (fun e -> Slo.eval e ~now) engine in
+  let has_deadline =
+    let tbl = Hashtbl.create 16 in
+    List.iter
+      (fun (v : Spec.volume) ->
+        if v.Spec.v_deadline_s > 0.0 then Hashtbl.replace tbl v.Spec.v_name ())
+      spec.Spec.s_volumes;
+    fun name -> Hashtbl.mem tbl name
+  in
+  let drives_lost = ref 0 in
   let prior =
     match resume with
     | None -> Status.empty spec
@@ -663,8 +779,12 @@ let run ?storm ?resume ?(keep_tapes = false) p =
             if
               storm_active ()
               && List.exists (fun s -> Resource_id.equal s slot) victims
-            then
-              raise (Drive_storm (Resource_id.to_key slot));
+            then begin
+              incr drives_lost;
+              if Obs.enabled () then
+                Obs.set_gauge "fleet.drives_lost" (Float.of_int !drives_lost);
+              raise (Drive_storm (Resource_id.to_key slot))
+            end;
             let payload, dump_elapsed, tape = exec_volume v in
             let fpayload = Float.of_int payload in
             let host = host_of_key slot in
@@ -706,7 +826,10 @@ let run ?storm ?resume ?(keep_tapes = false) p =
       if v.Spec.v_tenant <> "" && g.Scheduler.g_finished > 0.0 then
         Obs.sample ~at:g.Scheduler.g_finished
           ("fleet.tenant." ^ v.Spec.v_tenant ^ ".goodput_bytes_s")
-          (cum /. g.Scheduler.g_finished)
+          (cum /. g.Scheduler.g_finished);
+      if has_deadline v.Spec.v_name then
+        Obs.sample ~at:g.Scheduler.g_finished (done_series v.Spec.v_name) 1.0;
+      slo_eval g.Scheduler.g_finished
     end;
     completed :=
       {
@@ -726,7 +849,8 @@ let run ?storm ?resume ?(keep_tapes = false) p =
   let outcomes, pstats =
     Scheduler.run_tasks ~fatal ~on_complete
       ~on_interval:(fun ~t0 ~t1 utils ->
-        Analysis.sampler_segment sampler ~t0 ~t1 utils)
+        Analysis.sampler_segment sampler ~t0 ~t1 utils;
+        slo_eval t1)
       ~slots:(List.map fst p.p_slots)
       tasks
   in
@@ -778,6 +902,7 @@ let run ?storm ?resume ?(keep_tapes = false) p =
       (fun (t, g) -> Obs.set_gauge ("fleet.tenant." ^ t ^ ".goodput_bytes_s") g)
       tenant_goodput
   end;
+  slo_eval elapsed;
   let tapes =
     if keep_tapes then
       List.filter_map
@@ -801,6 +926,8 @@ let run ?storm ?resume ?(keep_tapes = false) p =
       rp_tenant_goodput = tenant_goodput;
       rp_link_bound_bytes_s = bound;
       rp_tapes = tapes;
+      rp_alerts =
+        (match engine with Some e -> Slo.alerts e | None -> []);
     }
   in
   let status =
@@ -830,4 +957,124 @@ let pp_report ppf r =
     r.rp_tenant_goodput;
   List.iter
     (fun (v, msg) -> Format.fprintf ppf "  failed %-10s %s@." v msg)
-    r.rp_failed
+    r.rp_failed;
+  let fired =
+    List.length (List.filter (fun a -> a.Slo.a_kind = Slo.Firing) r.rp_alerts)
+  in
+  if fired > 0 then
+    Format.fprintf ppf "  %d SLO alert(s) fired (%d transitions)@." fired
+      (List.length r.rp_alerts)
+
+(* ------------------------------------------------------------------ *)
+(* The night report                                                    *)
+
+let jnum x = if Float.is_finite x then Printf.sprintf "%.6g" x else "null"
+let jstr s = "\"" ^ Obs.json_escape s ^ "\""
+
+let night_report ?verdict (p : plan) (r : report) ~(status : Status.t) =
+  let spec = p.p_spec in
+  let finished =
+    let tbl = Hashtbl.create 64 in
+    List.iter
+      (fun (c : Status.completed) ->
+        Hashtbl.replace tbl c.Status.c_volume c.Status.c_finished)
+      status.Status.st_completed;
+    fun name -> Hashtbl.find_opt tbl name
+  in
+  let attains (v : Spec.volume) =
+    match finished v.Spec.v_name with
+    | None -> false
+    | Some t -> v.Spec.v_deadline_s <= 0.0 || t <= v.Spec.v_deadline_s
+  in
+  let frac_of = function
+    | [] -> 1.0
+    | vs ->
+      Float.of_int (List.length (List.filter attains vs))
+      /. Float.of_int (List.length vs)
+  in
+  let by sel names =
+    List.map
+      (fun n ->
+        (n, frac_of (List.filter (fun v -> sel v = n) spec.Spec.s_volumes)))
+      names
+  in
+  let tenants =
+    by
+      (fun (v : Spec.volume) -> v.Spec.v_tenant)
+      (List.map (fun (t : Spec.tenant) -> t.Spec.t_name) spec.Spec.s_tenants)
+  in
+  let hosts =
+    by
+      (fun (v : Spec.volume) -> v.Spec.v_host)
+      (List.map (fun (h : Spec.host) -> h.Spec.h_name) spec.Spec.s_hosts)
+  in
+  let missed =
+    List.filter_map
+      (fun (v : Spec.volume) ->
+        if v.Spec.v_deadline_s > 0.0 && not (attains v) then
+          Some v.Spec.v_name
+        else None)
+      spec.Spec.s_volumes
+  in
+  let fracs kvs =
+    String.concat "," (List.map (fun (n, f) -> jstr n ^ ":" ^ jnum f) kvs)
+  in
+  let b = Buffer.create 1024 in
+  let add = Buffer.add_string b in
+  add "{\"report\":\"NIGHT1\"";
+  add (Printf.sprintf ",\"spec_digest\":%d" (Spec.digest spec));
+  add (",\"elapsed_s\":" ^ jnum r.rp_elapsed);
+  add
+    (Printf.sprintf
+       ",\"volumes\":{\"total\":%d,\"completed\":%d,\"failed\":%d,\"unran\":%d,\"deadline_missed\":%d}"
+       (List.length spec.Spec.s_volumes)
+       (List.length status.Status.st_completed)
+       (List.length r.rp_failed) (List.length r.rp_unran)
+       (List.length missed));
+  add
+    (",\"attainment\":{\"fleet\":"
+    ^ jnum (frac_of spec.Spec.s_volumes)
+    ^ ",\"tenants\":{" ^ fracs tenants ^ "},\"hosts\":{" ^ fracs hosts
+    ^ "}}");
+  add (",\"missed\":[" ^ String.concat "," (List.map jstr missed) ^ "]");
+  add
+    (",\"failed\":["
+    ^ String.concat ","
+        (List.map (fun (v, m) -> "[" ^ jstr v ^ "," ^ jstr m ^ "]") r.rp_failed)
+    ^ "]");
+  add
+    (Printf.sprintf
+       ",\"goodput\":{\"bytes\":%d,\"bytes_s\":%s,\"link_bound_bytes_s\":%s,\"tenants\":{%s}}"
+       r.rp_bytes
+       (jnum r.rp_goodput_bytes_s)
+       (jnum r.rp_link_bound_bytes_s)
+       (fracs r.rp_tenant_goodput));
+  add (",\"alerts\":" ^ Slo.journal_json r.rp_alerts);
+  add (",\"verdict\":" ^ (match verdict with Some v -> jstr v | None -> "null"));
+  add "}";
+  Buffer.contents b
+
+let attainment_summary s =
+  match Slo.Json.parse s with
+  | exception Failure _ -> None
+  | j -> (
+    match Slo.Json.member "report" j with
+    | Some (Slo.Json.Str "NIGHT1") -> (
+      match Slo.Json.member "attainment" j with
+      | None -> None
+      | Some att -> (
+        let pairs = function
+          | Some (Slo.Json.Obj kvs) ->
+            List.filter_map
+              (function k, Slo.Json.Num v -> Some (k, v) | _ -> None)
+              kvs
+          | _ -> []
+        in
+        match Slo.Json.member "fleet" att with
+        | Some (Slo.Json.Num fleet) ->
+          Some
+            ( fleet,
+              pairs (Slo.Json.member "tenants" att),
+              pairs (Slo.Json.member "hosts" att) )
+        | _ -> None))
+    | _ -> None)

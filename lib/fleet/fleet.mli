@@ -47,6 +47,10 @@ module Spec : sig
     v_bytes : int;  (** workload size the filer is populated to *)
     v_priority : int;  (** smaller runs earlier *)
     v_window_s : float;  (** backup window opening (schedule seconds) *)
+    v_deadline_s : float;
+        (** backup window close (schedule seconds); 0 = none. A volume
+            not finished by its deadline is a window miss: the built-in
+            SLO rule fires and resolves on (late) completion. *)
     v_seed : int;  (** workload seed; the volume's content function *)
   }
 
@@ -64,6 +68,11 @@ module Spec : sig
     | Unknown_host of { volume : string; host : string }
     | Unknown_tenant of { volume : string; tenant : string }
     | Bad_value of { name : string; field : string }
+    | Bad_name of { kind : string; name : string }
+        (** A host/tenant/volume/filer name with characters outside
+            [A-Za-z0-9_-]: names are embedded in metric paths
+            ([fleet.tenant.<name>.goodput_bytes_s]), where a dot would
+            make the path ambiguous. *)
 
   exception Invalid of error
 
@@ -84,6 +93,8 @@ module Spec : sig
     ?budget_bytes_s:float ->
     ?window_every:int ->
     ?window_s:float ->
+    ?deadline_every:int ->
+    ?deadline_s:float ->
     volumes:int ->
     unit ->
     t
@@ -92,7 +103,8 @@ module Spec : sig
       (default 2) and [filers] (default [volumes/4 + 1]), priorities
       cycling 0-2, per-volume seeds derived from [seed]. Every
       [window_every]-th volume (default: none) gets a window opening at
-      [window_s]. *)
+      [window_s]; every [deadline_every]-th volume (default: none) gets
+      a backup-window deadline at [deadline_s]. *)
 
   val render : t -> string
   (** The canonical text form; [parse (render s)] round-trips. *)
@@ -194,10 +206,27 @@ type report = {
   rp_tapes : (string * string) list;
       (** volume name to serialized library bytes; [[]] unless
           [~keep_tapes] *)
+  rp_alerts : Repro_obs.Slo.alert list;
+      (** the night's SLO alert journal, in transition order; [[]] when
+          no plane was armed *)
 }
 
+val builtin_rules : Spec.t -> Repro_obs.Slo.rule list
+(** The default SLO rule set a night runs under: one window-miss
+    deadline rule per volume with a [v_deadline_s] (on the
+    [fleet.volume.<name>.done] series), one goodput-floor rule per
+    tenant (goodput below 1% of its budget once it has completions), a
+    drive-storm rule ([fleet.drives_lost] above 0), and [repl.rpo_s] /
+    [repl.rto_s] bounds (1 hour) that only see data when a DR drill
+    shares the plane. *)
+
 val run :
-  ?storm:storm -> ?resume:Status.t -> ?keep_tapes:bool -> plan -> report * Status.t
+  ?storm:storm ->
+  ?resume:Status.t ->
+  ?keep_tapes:bool ->
+  ?rules:Repro_obs.Slo.rule list ->
+  plan ->
+  report * Status.t
 (** Execute the night. [resume] skips volumes already in the catalog
     (its digest must match the plan's spec, else
     [Invalid_argument]); the returned status appends this run's
@@ -206,6 +235,33 @@ val run :
     in-flight volume and admits nothing more — and optionally aborts the
     whole night at [storm_abort_after]. When armed, the obs plane
     records [fleet.*] gauges, per-tenant goodput series, and
-    [fleet.util.*] utilization timelines. *)
+    [fleet.util.*] utilization timelines, and the night's SLO rules —
+    {!builtin_rules} plus any extra [rules] — are evaluated
+    incrementally from the scheduler's interval hook, landing in
+    [rp_alerts]. Identical seeds yield byte-identical journals. *)
 
 val pp_report : Format.formatter -> report -> unit
+
+(** {1 The night report}
+
+    One JSON artifact answering "did tonight meet its objectives":
+    per-volume / per-tenant / per-host SLO attainment, the alert
+    timeline, goodput against the link bound, and the {!Repro_obs
+    .Analysis} bottleneck verdict. See docs/SLO.md for the schema and
+    docs/FORMATS.md section 10. *)
+
+val night_report :
+  ?verdict:string -> plan -> report -> status:Status.t -> string
+(** Deterministic JSON: identical nights produce identical bytes. A
+    volume {e attains} its SLO when it completed and (if it carries a
+    deadline) finished by it; tenant/host attainment is the attained
+    fraction of their volumes, judged against the full catalog
+    [status] so a resumed night counts prior completions. [verdict] is
+    the fleet phase's bottleneck verdict when the caller analyzed the
+    plane. *)
+
+val attainment_summary :
+  string -> (float * (string * float) list * (string * float) list) option
+(** Read a saved night report back (via {!Repro_obs.Slo.Json}):
+    [(fleet attainment, per-tenant, per-host)], or [None] if the JSON
+    is not a night report. *)

@@ -426,7 +426,7 @@ let analyze obs =
               p_usage = usage;
               p_path = path;
             })
-      [ "backup"; "restore" ]
+      [ "backup"; "restore"; "fleet" ]
   in
   { phases }
 

@@ -76,8 +76,9 @@ val analyze : Obs.t -> report
 (** Analyze a recorded plane. A phase appears for each scheduler
     utilization timeline prefix present ([backup.util.*],
     [restore.util.*] — recorded by the drive-pool scheduler when it runs
-    under an armed plane). Planes recorded without the scheduler
-    timelines yield an empty report. *)
+    under an armed plane — and [fleet.util.*] from a fleet night, whose
+    verdict the night report embeds). Planes recorded without the
+    scheduler timelines yield an empty report. *)
 
 val critical_path : Obs.t -> critical_path option
 (** The backup-phase critical path alone: starting from the

@@ -503,6 +503,32 @@ let series t name =
 
 let series_names t = List.map fst (all_series t)
 
+(* Points live newest-first, so the latest point (or the latest at or
+   before a cutoff) is reachable without materializing the series. *)
+let series_last t ?at name =
+  match Hashtbl.find_opt t.ser_tbl name with
+  | None -> None
+  | Some s ->
+    let cut = match at with Some a -> Float.to_int (a *. 1e6) | None -> max_int in
+    let rec newest = function
+      | [] -> None
+      | (ts, v) :: rest ->
+        if ts <= cut then Some (Float.of_int ts /. 1e6, v) else newest rest
+    in
+    newest s.pts
+
+let series_since t ~t0 name =
+  match Hashtbl.find_opt t.ser_tbl name with
+  | None -> []
+  | Some s ->
+    let lo = Float.to_int (t0 *. 1e6) in
+    let rec collect acc = function
+      | (ts, v) :: rest when ts >= lo ->
+        collect ((Float.of_int ts /. 1e6, v) :: acc) rest
+      | _ -> acc
+    in
+    collect [] s.pts
+
 (* ------------------------------------------------------------------ *)
 (* Export                                                              *)
 

@@ -171,6 +171,11 @@ val hist_percentile : t -> string -> float -> float option
     distributions, within one bucket otherwise. [None] if the metric is
     absent, empty, or not a histogram. *)
 
+val json_escape : string -> string
+(** JSON string-body escaping as every exporter in the plane applies it
+    (quotes, backslashes, control bytes); shared by {!Slo}'s journal and
+    the fleet night report so all artifacts escape identically. *)
+
 val nat_compare : string -> string -> int
 (** Natural (numeric-aware) string order: digit runs compare as numbers,
     so ["drive2"] sorts before ["drive10"]. All listings of metric and
@@ -184,6 +189,18 @@ val series : t -> string -> (float * float) list
 
 val series_names : t -> string list
 (** All series (recorded and derived), in {!nat_compare} order. *)
+
+val series_last : t -> ?at:float -> string -> (float * float) option
+(** The newest recorded point of a series, or the newest point at or
+    before [at] simulated seconds when given. O(1) for the common
+    monotone-append case ({!Slo} polls series this way on every
+    scheduler interval); derived [dev.*] series are not consulted. *)
+
+val series_since : t -> t0:float -> string -> (float * float) list
+(** Recorded points with timestamp [>= t0], oldest first — the sliding
+    window a burn-rate rule evaluates over. Walks newest-first and stops
+    at the first point before [t0], so the cost is proportional to the
+    window, not the series. *)
 
 val chrome_trace : t -> string
 (** The plane as a Chrome [trace_event] JSON object

@@ -195,16 +195,6 @@ let newest_primary_checkpoint t =
   | newest :: _ -> Some newest
   | [] -> None
 
-let checkpoint t =
-  let p = node t t.root in
-  t.seq <- t.seq + 1;
-  let name = Printf.sprintf "repl.%d" t.seq in
-  Fs.snapshot_create (fs_of p) name;
-  Hashtbl.replace t.snap_times name (Clock.now t.clock);
-  Obs.instant "repl.checkpoint"
-    ~attrs:[ ("snapshot", Obs.Str name); ("node", Obs.Str t.root) ];
-  name
-
 let lag_s t ~name =
   let n = node t name in
   if name = t.root then 0.0
@@ -262,11 +252,46 @@ let session_of e =
     e.e_session <- Some s;
     s
 
+(* The recovery point available right now: if the primary died at this
+   instant, a promotion would land on the most current replica, so the
+   estimated RPO is the minimum lag across replicas. Exported to the obs
+   plane as the [repl.rpo_est_s] gauge and series after every transfer,
+   which is what SLO rules bind to — the realized [repl.rpo_s] gauge is
+   only known at promotion. *)
+let rpo_estimate_s t =
+  match List.filter (fun n -> n.n_name <> t.root) t.nodes with
+  | [] -> 0.0
+  | repls ->
+    List.fold_left
+      (fun acc n -> Float.min acc (lag_s t ~name:n.n_name))
+      Float.infinity repls
+
+let gauge_rpo_est t =
+  let est = rpo_estimate_s t in
+  Obs.set_gauge "repl.rpo_est_s" est;
+  Obs.sample ~at:(Clock.now t.clock) "repl.rpo_est_s" est
+
 let gauge_lag t name =
   let v = lag_s t ~name in
   let key = "repl.lag_s." ^ name in
   Obs.set_gauge key v;
-  Obs.sample ~at:(Clock.now t.clock) key v
+  Obs.sample ~at:(Clock.now t.clock) key v;
+  gauge_rpo_est t
+
+(* The checkpoint samples the recovery-point estimate too: during a
+   partition no transfer completes, so without this the rpo_est series
+   would sit frozen at its last healthy value while the real recovery
+   point drifts — exactly the window an SLO rule needs to see. *)
+let checkpoint t =
+  let p = node t t.root in
+  t.seq <- t.seq + 1;
+  let name = Printf.sprintf "repl.%d" t.seq in
+  Fs.snapshot_create (fs_of p) name;
+  Hashtbl.replace t.snap_times name (Clock.now t.clock);
+  Obs.instant "repl.checkpoint"
+    ~attrs:[ ("snapshot", Obs.Str name); ("node", Obs.Str t.root) ];
+  gauge_rpo_est t;
+  name
 
 let ship t e ~src ~dst ~base ~snapshot =
   let kind = match base with None -> `Full | Some _ -> `Incremental in

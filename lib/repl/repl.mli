@@ -156,6 +156,15 @@ val lag_s : t -> name:string -> float
     node holds nothing). Also exported as the [repl.lag_s.<name>]
     gauge/series on the obs plane after every transfer. *)
 
+val rpo_estimate_s : t -> float
+(** The recovery point available {e right now}: the minimum {!lag_s}
+    across replicas — what a promotion at this instant would realize as
+    its RPO (0 with no replicas). Exported as the [repl.rpo_est_s]
+    gauge and series after every checkpoint and transfer, so SLO rules
+    ({!Repro_obs.Slo}) can alert on replication falling behind and
+    resolve when a later sync catches up; the realized [repl.rpo_s] /
+    [repl.rto_s] gauges only appear at {!promote}. *)
+
 (** {1 Disaster recovery} *)
 
 val promote : t -> name:string -> promotion

@@ -11,6 +11,8 @@ module Status = Fleet.Status
 module Link = Repro_net.Link
 module Serde = Repro_util.Serde
 module Obs = Repro_obs.Obs
+module Analysis = Repro_obs.Analysis
+module Slo = Repro_obs.Slo
 
 let checkb = Alcotest.(check bool)
 let checki = Alcotest.(check int)
@@ -23,7 +25,8 @@ let tenant ?(budget = 64e6) name =
   { Spec.t_name = name; t_budget_bytes_s = budget }
 
 let volume ?(host = "vault0") ?(tenant = "eng") ?(filer = "f0")
-    ?(bytes = 10_000) ?(priority = 0) ?(window = 0.0) ?(seed = 1) name =
+    ?(bytes = 10_000) ?(priority = 0) ?(window = 0.0) ?(deadline = 0.0)
+    ?(seed = 1) name =
   {
     Spec.v_name = name;
     v_host = host;
@@ -32,6 +35,7 @@ let volume ?(host = "vault0") ?(tenant = "eng") ?(filer = "f0")
     v_bytes = bytes;
     v_priority = priority;
     v_window_s = window;
+    v_deadline_s = deadline;
     v_seed = seed;
   }
 
@@ -295,12 +299,107 @@ let test_obs_gauges () =
   checkb "fleet.volumes_done series recorded" true
     (List.length (Obs.series p "fleet.volumes_done") >= 4)
 
+(* Names land in metric paths (fleet.tenant.<name>.goodput_bytes_s), so
+   a dot or slash in a name would make the path ambiguous: typed
+   Bad_name instead. *)
+let test_bad_names () =
+  expects (Spec.Bad_name { kind = "tenant"; name = "a.b" }) (fun () ->
+      Spec.make ~hosts:[ host "vault0" ] ~tenants:[ tenant "a.b" ]
+        [ volume ~tenant:"a.b" "v0" ]);
+  expects (Spec.Bad_name { kind = "host"; name = "v/0" }) (fun () ->
+      Spec.make ~hosts:[ host "v/0" ] ~tenants:[]
+        [ volume ~tenant:"" ~host:"v/0" "v0" ]);
+  expects (Spec.Bad_name { kind = "volume"; name = "v 1" }) (fun () ->
+      Spec.make ~hosts:[ host "vault0" ] ~tenants:[ tenant "eng" ]
+        [ volume "v 1" ]);
+  expects (Spec.Bad_name { kind = "filer"; name = "f.0" }) (fun () ->
+      Spec.make ~hosts:[ host "vault0" ] ~tenants:[ tenant "eng" ]
+        [ volume ~filer:"f.0" "v0" ]);
+  expects (Spec.Bad_name { kind = "volume"; name = "" }) (fun () ->
+      Spec.make ~hosts:[ host "vault0" ] ~tenants:[ tenant "eng" ] [ volume "" ])
+
+(* Deadlines must sit inside (window, +inf) when present. *)
+let test_deadline_validation () =
+  expects (Spec.Bad_value { name = "v0"; field = "deadline_s" }) (fun () ->
+      Spec.make ~hosts:[ host "vault0" ] ~tenants:[ tenant "eng" ]
+        [ volume ~deadline:(-1.0) "v0" ]);
+  expects (Spec.Bad_value { name = "v0"; field = "deadline_s" }) (fun () ->
+      Spec.make ~hosts:[ host "vault0" ] ~tenants:[ tenant "eng" ]
+        [ volume ~window:2.0 ~deadline:1.0 "v0" ]);
+  (* deadline_s is emitted only when set: old specs' digests survive *)
+  let contains ~needle hay =
+    let n = String.length needle and h = String.length hay in
+    let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+    go 0
+  in
+  let plain = Spec.synth ~seed:5 ~volumes:4 () in
+  checkb "no deadline_s in a deadline-less render" false
+    (contains ~needle:"deadline_s=" (Spec.render plain));
+  let s =
+    Spec.synth ~seed:5 ~volumes:8 ~deadline_every:4 ~deadline_s:3.5 ()
+  in
+  let s' = Spec.parse (Spec.render s) in
+  checks "deadline round-trips" (Spec.render s) (Spec.render s');
+  checki "every 4th volume carries the deadline" 2
+    (List.length
+       (List.filter (fun v -> v.Spec.v_deadline_s > 0.0) s.Spec.s_volumes))
+
+(* ----------------------- sampler and series -------------------------- *)
+
+let test_fleet_trace_series () =
+  let spec =
+    Spec.synth ~seed:17 ~volumes:6 ~hosts:2 ~drives_per_host:2 ~tenants:2
+      ~bytes_per_volume:8_000 ()
+  in
+  let p = Obs.create () in
+  let report, _ = Obs.with_armed p (fun () -> Fleet.run (Fleet.plan spec)) in
+  checki "night completes" 6 (List.length report.Fleet.rp_completed);
+  (* the fleet sampler resampled the scheduler's utilization timeline
+     into fleet.util.* series on the plane *)
+  let prefixed pre n =
+    String.length n >= String.length pre && String.sub n 0 (String.length pre) = pre
+  in
+  let util = List.filter (prefixed "fleet.util.") (Obs.series_names p) in
+  checkb "fleet.util.* series present" true (util <> []);
+  List.iter
+    (fun n ->
+      List.iter
+        (fun (_, v) ->
+          checkb (n ^ " utilization within [0,1]") true (v >= 0.0 && v <= 1.0))
+        (Obs.series p n))
+    util;
+  (* fleet.volumes_done is monotone in both time and value *)
+  let pts = Obs.series p "fleet.volumes_done" in
+  checki "one volumes_done point per completion" 6 (List.length pts);
+  let rec mono = function
+    | (t0, v0) :: ((t1, v1) :: _ as rest) ->
+      t0 <= t1 && v0 <= v1 && mono rest
+    | _ -> true
+  in
+  checkb "fleet.volumes_done monotone" true (mono pts);
+  checkb "last volumes_done point is the total" true
+    (match List.rev pts with (_, v) :: _ -> v = 6.0 | [] -> false);
+  (* the analysis plane now attributes a fleet phase *)
+  let phases = (Analysis.analyze p).Analysis.phases in
+  checkb "analysis yields a fleet phase" true
+    (List.exists (fun (ph : Analysis.phase) -> ph.Analysis.p_name = "fleet") phases);
+  (* series_csv exports every series, volumes_done included *)
+  let csv = Analysis.series_csv p in
+  checkb "series_csv covers fleet.volumes_done" true
+    (let n = String.length csv and k = "fleet.volumes_done" in
+     let kn = String.length k in
+     let rec go i = i + kn <= n && (String.sub csv i kn = k || go (i + 1)) in
+     go 0)
+
 let () =
   Alcotest.run "fleet"
     [
       ( "spec",
         [
           Alcotest.test_case "typed validation" `Quick test_spec_validation;
+          Alcotest.test_case "metric-path-safe names" `Quick test_bad_names;
+          Alcotest.test_case "deadline validation and round-trip" `Quick
+            test_deadline_validation;
           Alcotest.test_case "typed parse errors" `Quick test_parse_errors;
           Alcotest.test_case "render/parse round-trip" `Quick
             test_render_parse_roundtrip;
@@ -316,5 +415,7 @@ let () =
           Alcotest.test_case "tenant budgets" `Quick test_tenant_budget;
           Alcotest.test_case "storm + resume" `Quick test_storm_resume;
           Alcotest.test_case "fleet.* gauges and series" `Quick test_obs_gauges;
+          Alcotest.test_case "sampler and series over a fleet trace" `Quick
+            test_fleet_trace_series;
         ] );
     ]
